@@ -1,0 +1,120 @@
+package crfs_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§V), each regenerating the artifact through the
+// deterministic simulation and reporting the headline measured value as a
+// custom metric, plus real-library microbenchmarks of the aggregation
+// pipeline.
+//
+// Absolute values are virtual-time measurements of the modelled testbed;
+// EXPERIMENTS.md records them against the paper's numbers.
+
+import (
+	"fmt"
+	"testing"
+
+	crfs "crfs"
+	"crfs/internal/experiments"
+)
+
+// benchExperiment runs one experiment driver per iteration and publishes
+// its first comparison row as metrics.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var rep experiments.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(rep.Rows) > 0 {
+		r := rep.Rows[0]
+		b.ReportMetric(r.Measured, "measured_"+r.Unit)
+		if r.Paper > 0 {
+			b.ReportMetric(r.Measured/r.Paper, "vs_paper_ratio")
+		}
+	}
+}
+
+func BenchmarkTable1Profile(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2Sizes(b *testing.B)        { benchExperiment(b, "table2") }
+func BenchmarkFig3Cumulative(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig5RawBandwidth(b *testing.B)   { benchExperiment(b, "fig5") }
+func BenchmarkFig6MVAPICH2(b *testing.B)       { benchExperiment(b, "fig6") }
+func BenchmarkFig7MPICH2(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8OpenMPI(b *testing.B)        { benchExperiment(b, "fig8") }
+func BenchmarkFig9Multiplexing(b *testing.B)   { benchExperiment(b, "fig9") }
+func BenchmarkFig10Blktrace(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFig11Convergence(b *testing.B)   { benchExperiment(b, "fig11") }
+func BenchmarkAblationThreads(b *testing.B)    { benchExperiment(b, "ablation-threads") }
+func BenchmarkAblationBigWrites(b *testing.B)  { benchExperiment(b, "ablation-bigwrites") }
+func BenchmarkAblationChunk(b *testing.B)      { benchExperiment(b, "ablation-chunk") }
+func BenchmarkRestartPassthrough(b *testing.B) { benchExperiment(b, "restart") }
+
+// BenchmarkRealAggregation measures the real library's write path: small
+// checkpoint-sized writes aggregated into 4 MB chunks over an in-memory
+// backend (the library-side analogue of Fig. 5).
+func BenchmarkRealAggregation(b *testing.B) {
+	fs, err := crfs.Mount(crfs.MemBackend(), crfs.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Unmount()
+	f, err := fs.Open("bench.img", crfs.WriteOnly|crfs.Create)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	buf := make([]byte, 8192)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var off int64
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+		off += int64(len(buf))
+	}
+}
+
+// BenchmarkRealConcurrentWriters measures 8 concurrent checkpoint writers
+// through one mount, the paper's node-level scenario.
+func BenchmarkRealConcurrentWriters(b *testing.B) {
+	fs, err := crfs.Mount(crfs.MemBackend(), crfs.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Unmount()
+	const writers = 8
+	files := make([]crfs.File, writers)
+	for w := range files {
+		files[w], err = fs.Open(fmt.Sprintf("rank%d.img", w), crfs.WriteOnly|crfs.Create)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer files[w].Close()
+	}
+	buf := make([]byte, 16384)
+	b.SetBytes(int64(len(buf)) * writers)
+	b.ResetTimer()
+	offs := make([]int64, writers)
+	for i := 0; i < b.N; i++ {
+		done := make(chan error, writers)
+		for w := 0; w < writers; w++ {
+			w := w
+			go func() {
+				_, err := files[w].WriteAt(buf, offs[w])
+				offs[w] += int64(len(buf))
+				done <- err
+			}()
+		}
+		for w := 0; w < writers; w++ {
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Command crfsd serves a CRFS mount over TCP: remote checkpoint writers
+// stream their images to the daemon, which aggregates them through CRFS
+// before they reach the backing directory. It plays the role a
+// CRFS-mounted staging node plays in the paper's deployment.
+//
+// Protocol (one request per connection, line-oriented header):
+//
+//	PUT <name> <size>\n<size bytes>   -> "OK <bytes>\n"
+//	GET <name>\n                      -> "OK <size>\n<size bytes>"
+//	STAT\n                            -> one line of mount statistics
+//
+// Usage:
+//
+//	crfsd -dir /scratch/ckpt -addr :9000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+
+	crfs "crfs"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "backing directory")
+	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
+	chunk := flag.Int64("chunk", crfs.DefaultChunkSize, "chunk size")
+	pool := flag.Int64("pool", crfs.DefaultBufferPoolSize, "buffer pool size")
+	threads := flag.Int("threads", crfs.DefaultIOThreads, "IO threads")
+	flag.Parse()
+
+	fs, err := crfs.MountDir(*dir, crfs.Options{
+		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d)",
+		*dir, ln.Addr(), *chunk, *pool, *threads)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go serve(fs, conn)
+	}
+}
+
+func serve(fs *crfs.FS, conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		fmt.Fprintf(conn, "ERR empty request\n")
+		return
+	}
+	switch fields[0] {
+	case "PUT":
+		if len(fields) != 3 {
+			fmt.Fprintf(conn, "ERR usage: PUT name size\n")
+			return
+		}
+		var size int64
+		if _, err := fmt.Sscanf(fields[2], "%d", &size); err != nil || size < 0 {
+			fmt.Fprintf(conn, "ERR bad size\n")
+			return
+		}
+		n, err := put(fs, fields[1], size, r)
+		if err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(conn, "OK %d\n", n)
+	case "GET":
+		if len(fields) != 2 {
+			fmt.Fprintf(conn, "ERR usage: GET name\n")
+			return
+		}
+		if err := get(fs, fields[1], conn); err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+		}
+	case "STAT":
+		st := fs.Stats()
+		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d\n",
+			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits)
+	default:
+		fmt.Fprintf(conn, "ERR unknown verb %q\n", fields[0])
+	}
+}
+
+func put(fs *crfs.FS, name string, size int64, r io.Reader) (int64, error) {
+	f, err := fs.Open(name, crfs.WriteOnly|crfs.Create|crfs.Trunc)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 64<<10)
+	var off int64
+	for off < size {
+		want := int64(len(buf))
+		if size-off < want {
+			want = size - off
+		}
+		n, err := io.ReadFull(r, buf[:want])
+		if n > 0 {
+			if _, werr := f.WriteAt(buf[:n], off); werr != nil {
+				f.Close()
+				return off, werr
+			}
+			off += int64(n)
+		}
+		if err != nil {
+			f.Close()
+			return off, err
+		}
+	}
+	return off, f.Close()
+}
+
+func get(fs *crfs.FS, name string, conn net.Conn) error {
+	f, err := fs.Open(name, crfs.ReadOnly)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(conn, "OK %d\n", info.Size)
+	buf := make([]byte, 64<<10)
+	var off int64
+	for off < info.Size {
+		want := int64(len(buf))
+		if info.Size-off < want {
+			want = info.Size - off
+		}
+		n, err := f.ReadAt(buf[:want], off)
+		if n > 0 {
+			if _, werr := conn.Write(buf[:n]); werr != nil {
+				return werr
+			}
+			off += int64(n)
+		}
+		if err != nil && err != io.EOF {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Package crfs is the public API of the CRFS library — a reimplementation
+// of the Checkpoint/Restart Filesystem of Ouyang, Rajachandrasekar,
+// Besseron, Wang, Huang and Panda ("CRFS: A Lightweight User-Level
+// Filesystem for Generic Checkpoint/Restart", ICPP 2011).
+//
+// CRFS is a stackable, write-aggregating filesystem layer: it intercepts
+// writes, coalesces them into large fixed-size chunks drawn from a bounded
+// buffer pool, and writes the chunks to the backing filesystem
+// asynchronously from a small pool of IO worker goroutines that throttle
+// backend concurrency. Close and Sync block until every outstanding chunk
+// of the file has landed, and reads pass through, so a file written via
+// CRFS can be read directly from the backend afterwards — no layout is
+// changed.
+//
+// Quick start:
+//
+//	backend, _ := crfs.DirBackend("/mnt/scratch")
+//	fs, _ := crfs.Mount(backend, crfs.Options{})
+//	defer fs.Unmount()
+//	f, _ := fs.Open("ckpt/rank0.img", crfs.WriteOnly|crfs.Create)
+//	f.WriteAt(payload, 0) // returns after the copy; IO is asynchronous
+//	f.Close()             // blocks until all chunks reached the backend
+//
+// The repository also contains, under internal/, the full simulation
+// substrate reproducing the paper's evaluation: a deterministic
+// discrete-event cluster with ext3/NFS/Lustre models, BLCR checkpoint
+// streams, and the three MPI stacks' coordinated checkpoint protocol. See
+// DESIGN.md and EXPERIMENTS.md.
+package crfs
+
+import (
+	"crfs/internal/core"
+	"crfs/internal/memfs"
+	"crfs/internal/osfs"
+	"crfs/internal/vfs"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// FS is a CRFS mount; it implements Filesystem.
+	FS = core.FS
+	// Options configures a mount; the zero value selects the paper's
+	// defaults (16 MB pool, 4 MB chunks, 4 IO threads).
+	Options = core.Options
+	// Stats is a snapshot of mount activity counters.
+	Stats = core.Stats
+	// Filesystem is the interface CRFS stacks over and exposes upward.
+	Filesystem = vfs.FS
+	// File is an open file handle.
+	File = vfs.File
+	// FileInfo describes a file.
+	FileInfo = vfs.FileInfo
+	// DirEntry is a directory listing entry.
+	DirEntry = vfs.DirEntry
+	// OpenFlag selects open modes.
+	OpenFlag = vfs.OpenFlag
+)
+
+// Open flags, re-exported for call-site convenience.
+const (
+	ReadOnly  = vfs.ReadOnly
+	WriteOnly = vfs.WriteOnly
+	ReadWrite = vfs.ReadWrite
+	Create    = vfs.Create
+	Excl      = vfs.Excl
+	Trunc     = vfs.Trunc
+)
+
+// Defaults chosen by the paper's evaluation (§V-B).
+const (
+	DefaultBufferPoolSize = core.DefaultBufferPoolSize
+	DefaultChunkSize      = core.DefaultChunkSize
+	DefaultIOThreads      = core.DefaultIOThreads
+)
+
+// Common sentinel errors.
+var (
+	ErrNotExist = vfs.ErrNotExist
+	ErrExist    = vfs.ErrExist
+	ErrClosed   = vfs.ErrClosed
+	ErrInvalid  = vfs.ErrInvalid
+	ErrReadOnly = vfs.ErrReadOnly
+)
+
+// Mount stacks CRFS over a backend filesystem.
+func Mount(backend Filesystem, opts Options) (*FS, error) {
+	return core.Mount(backend, opts)
+}
+
+// MountDir mounts CRFS over a host directory (the common deployment: the
+// directory lives on ext3/NFS/Lustre and CRFS aggregates writes into it).
+func MountDir(dir string, opts Options) (*FS, error) {
+	backend, err := osfs.New(dir)
+	if err != nil {
+		return nil, err
+	}
+	return core.Mount(backend, opts)
+}
+
+// DirBackend exposes a host directory as a backend Filesystem.
+func DirBackend(dir string) (Filesystem, error) { return osfs.New(dir) }
+
+// MemBackend returns an in-memory backend Filesystem, useful for tests
+// and benchmarks.
+func MemBackend() Filesystem { return memfs.New() }
+
+// ReadFile reads a whole file from any Filesystem.
+func ReadFile(fsys Filesystem, name string) ([]byte, error) { return vfs.ReadFile(fsys, name) }
+
+// WriteFile writes data to a file on any Filesystem, creating or
+// truncating it.
+func WriteFile(fsys Filesystem, name string, data []byte) error {
+	return vfs.WriteFile(fsys, name, data)
+}

@@ -1,0 +1,84 @@
+package crfs_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	crfs "crfs"
+)
+
+func TestMountDirRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := crfs.MountDir(dir, crfs.Options{ChunkSize: 4096, BufferPoolSize: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+	if err := fs.MkdirAll("ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("ckpt/rank0.img", crfs.WriteOnly|crfs.Create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("checkpoint"), 10000)
+	var off int64
+	for off < int64(len(payload)) {
+		n := int64(1000)
+		if off+n > int64(len(payload)) {
+			n = int64(len(payload)) - off
+		}
+		if _, err := f.WriteAt(payload[off:off+n], off); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart path: read directly from the backend, bypassing CRFS
+	// (§V-F: "an application can be restarted directly from the back-end
+	// filesystem, without the need to mount CRFS").
+	backend, err := crfs.DirBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := crfs.ReadFile(backend, "ckpt/rank0.img")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("backend bytes differ: %d vs %d", len(got), len(payload))
+	}
+	st := fs.Stats()
+	if st.BackendWrites >= st.Writes {
+		t.Errorf("no aggregation: %d backend writes for %d app writes", st.BackendWrites, st.Writes)
+	}
+}
+
+func TestMemBackend(t *testing.T) {
+	fs, err := crfs.Mount(crfs.MemBackend(), crfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+	if err := crfs.WriteFile(fs, "x", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := crfs.ReadFile(fs, "x")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("roundtrip: %q %v", got, err)
+	}
+}
+
+func TestErrorsExported(t *testing.T) {
+	fs, err := crfs.Mount(crfs.MemBackend(), crfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Unmount()
+	if _, err := fs.Open("missing", crfs.ReadOnly); !errors.Is(err, crfs.ErrNotExist) {
+		t.Errorf("open missing = %v, want ErrNotExist", err)
+	}
+}

@@ -1,0 +1,39 @@
+// Checkpoint: reproduce the paper's headline experiment in miniature — a
+// 16-node MPI job checkpointing LU class C through BLCR onto each of the
+// three backing filesystems, natively and through CRFS (Fig. 6).
+//
+// Everything runs in the deterministic discrete-event simulation, so the
+// program completes in seconds while modelling minutes of cluster IO.
+package main
+
+import (
+	"fmt"
+
+	"crfs/internal/cluster"
+	"crfs/internal/mpi"
+	"crfs/internal/workload"
+)
+
+func main() {
+	fmt.Println("LU class C, 128 processes on 16 nodes, MVAPICH2, avg write+close time per process")
+	fmt.Printf("%-8s %12s %12s %10s\n", "backend", "native", "with CRFS", "speedup")
+	for _, backend := range cluster.Backends() {
+		var times [2]float64
+		for i, useCRFS := range []bool{false, true} {
+			res := cluster.RunCheckpoint(cluster.Config{
+				Nodes: 16, ProcsPerNode: 8,
+				Backend: backend, UseCRFS: useCRFS,
+				Stack: mpi.MVAPICH2, Class: workload.ClassC, Seed: 7,
+			})
+			times[i] = res.AvgTime
+		}
+		fmt.Printf("%-8s %11.2fs %11.2fs %9.1fx\n", backend, times[0], times[1], times[0]/times[1])
+	}
+	fmt.Println("\nCheckpoint sizes (Table II model):")
+	for _, stack := range mpi.Stacks() {
+		img, _ := stack.ImageBytes(workload.ClassC, 128)
+		tot, _ := stack.TotalCheckpointBytes(workload.ClassC, 128)
+		fmt.Printf("  %-9s (%-3s): image %6.1f MB, total %8.1f MB\n",
+			stack.Name, stack.Transport, float64(img)/(1<<20), float64(tot)/(1<<20))
+	}
+}

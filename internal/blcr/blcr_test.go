@@ -1,0 +1,131 @@
+package blcr
+
+import (
+	"math"
+	"testing"
+
+	"crfs/internal/des"
+	"crfs/internal/ext3"
+	"crfs/internal/metrics"
+)
+
+func TestStreamDeterministic(t *testing.T) {
+	a := Stream(23<<20, 7)
+	b := Stream(23<<20, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	c := Stream(23<<20, 8)
+	same := len(a) == len(c)
+	if same {
+		same = false
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestStreamTotalMatchesImageSize(t *testing.T) {
+	for _, size := range []int64{7 << 20, 15 << 20, 23 << 20, 107 << 20, 850 << 20} {
+		got := StreamBytes(Stream(size, 1))
+		ratio := float64(got) / float64(size)
+		if ratio < 0.95 || ratio > 1.1 {
+			t.Errorf("image %dMB: stream carries %dMB (ratio %.3f)", size>>20, got>>20, ratio)
+		}
+	}
+}
+
+func TestWriteCountWeaklySizeDependent(t *testing.T) {
+	// vmadump's write count is VMA-driven: a 100 MB image must not have
+	// ~4x the writes of a 23 MB image.
+	n23 := len(Stream(23<<20, 1))
+	n107 := len(Stream(107<<20, 1))
+	if float64(n107) > 1.3*float64(n23) {
+		t.Errorf("write count scaled with size: %d writes at 23MB, %d at 107MB", n23, n107)
+	}
+	if n23 < 900 || n23 > 1100 {
+		t.Errorf("23MB image has %d writes, want ~975 (Table I)", n23)
+	}
+}
+
+func TestStreamMatchesTableIShape(t *testing.T) {
+	// Bucket the generated stream for the reference image and compare
+	// the %writes and %data columns against Table I within tolerance.
+	sizes := Stream(23<<20, 3)
+	counts := make([]float64, len(metrics.Buckets))
+	bytes := make([]float64, len(metrics.Buckets))
+	var totC, totB float64
+	for _, s := range sizes {
+		b := metrics.BucketIndex(s)
+		counts[b]++
+		bytes[b] += float64(s)
+		totC++
+		totB += float64(s)
+	}
+	wantWrites := []float64{50.86, 0.61, 0.25, 9.46, 36.49, 0.74, 0.49, 0.25, 0.61, 0.25}
+	wantData := []float64{0.04, 0.00, 0.01, 1.53, 11.36, 0.77, 3.79, 3.58, 17.72, 61.21}
+	for i := range metrics.Buckets {
+		gotW := 100 * counts[i] / totC
+		if math.Abs(gotW-wantWrites[i]) > 3.0 {
+			t.Errorf("bucket %s: %%writes = %.2f, paper %.2f", metrics.BucketLabels[i], gotW, wantWrites[i])
+		}
+		gotD := 100 * bytes[i] / totB
+		if math.Abs(gotD-wantData[i]) > 6.0 {
+			t.Errorf("bucket %s: %%data = %.2f, paper %.2f", metrics.BucketLabels[i], gotD, wantData[i])
+		}
+	}
+}
+
+func TestCheckpointRecordsLog(t *testing.T) {
+	env := des.New()
+	fs := ext3.New(env, "n0", ext3.Params{})
+	sizes := Stream(4<<20, 1)
+	log := &metrics.ProcLog{Node: 0, Rank: 0}
+	env.Spawn("ckpt", func(p *des.Proc) {
+		fs.AddDirtier()
+		f := fs.Open(p, "ckpt.0")
+		Checkpoint(p, f, sizes, log)
+		fs.RemoveDirtier()
+	})
+	env.Run()
+	env.Shutdown()
+	if len(log.Writes) != len(sizes) {
+		t.Fatalf("logged %d writes, stream has %d", len(log.Writes), len(sizes))
+	}
+	if log.TotalBytes() != StreamBytes(sizes) {
+		t.Errorf("logged bytes %d != stream bytes %d", log.TotalBytes(), StreamBytes(sizes))
+	}
+	if log.Duration() <= 0 {
+		t.Error("checkpoint duration not positive")
+	}
+}
+
+func TestRestartReads(t *testing.T) {
+	env := des.New()
+	fs := ext3.New(env, "n0", ext3.Params{})
+	sizes := Stream(2<<20, 1)
+	env.Spawn("cycle", func(p *des.Proc) {
+		f := fs.Open(p, "ckpt.0")
+		log := &metrics.ProcLog{}
+		Checkpoint(p, f, sizes, log)
+		f2 := fs.Open(p, "ckpt.0")
+		Restart(p, f2, sizes)
+	})
+	end := env.Run()
+	env.Shutdown()
+	if end <= 0 {
+		t.Error("restart consumed no time")
+	}
+}

@@ -1,0 +1,331 @@
+package chunker
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// apply replays ops against a model file and a model chunk, verifying the
+// structural invariants as it goes. It returns the reconstructed file
+// contents (flushed extents only) and the list of flushed extents.
+type extent struct{ start, fill int64 }
+
+type replay struct {
+	t         *testing.T
+	chunkSize int64
+	haveChunk bool
+	chunkPos  int64
+	flushed   []extent
+	// writeCursor tracks the current write payload consumption.
+}
+
+func (r *replay) applyWrite(off, n int64, ops []Op) {
+	var consumed int64
+	for _, op := range ops {
+		switch op.Kind {
+		case OpNewChunk:
+			if r.haveChunk && r.chunkPos > 0 {
+				r.t.Fatalf("new chunk allocated while %d bytes buffered", r.chunkPos)
+			}
+			r.haveChunk = true
+			r.chunkPos = 0
+		case OpCopy:
+			if !r.haveChunk {
+				r.t.Fatalf("copy without chunk")
+			}
+			if op.Pos != r.chunkPos {
+				r.t.Fatalf("copy at pos %d, chunk fill %d", op.Pos, r.chunkPos)
+			}
+			if op.Src != consumed {
+				r.t.Fatalf("copy src %d, consumed %d", op.Src, consumed)
+			}
+			if op.Off != off+consumed {
+				r.t.Fatalf("copy off %d, want %d", op.Off, off+consumed)
+			}
+			if op.N <= 0 || r.chunkPos+op.N > r.chunkSize {
+				r.t.Fatalf("copy overflows chunk: pos=%d n=%d size=%d", r.chunkPos, op.N, r.chunkSize)
+			}
+			r.chunkPos += op.N
+			consumed += op.N
+		case OpFlush:
+			if !r.haveChunk || r.chunkPos == 0 {
+				r.t.Fatalf("flush of empty chunk")
+			}
+			if op.Fill != r.chunkPos {
+				r.t.Fatalf("flush fill %d, buffered %d", op.Fill, r.chunkPos)
+			}
+			r.flushed = append(r.flushed, extent{op.Start, op.Fill})
+			r.haveChunk = false
+			r.chunkPos = 0
+		}
+	}
+	if consumed != n {
+		r.t.Fatalf("write of %d bytes consumed %d", n, consumed)
+	}
+}
+
+func (r *replay) applyFlush(ops []Op) {
+	for _, op := range ops {
+		if op.Kind != OpFlush {
+			r.t.Fatalf("close flush emitted %v", op)
+		}
+		r.flushed = append(r.flushed, extent{op.Start, op.Fill})
+		r.haveChunk = false
+		r.chunkPos = 0
+	}
+}
+
+func TestSequentialWritesFillChunks(t *testing.T) {
+	a := NewFileAgg(100)
+	r := &replay{t: t, chunkSize: 100}
+	var off int64
+	for i := 0; i < 25; i++ { // 25 writes x 30 bytes = 750 bytes
+		ops := a.Write(off, 30, nil)
+		r.applyWrite(off, 30, ops)
+		off += 30
+	}
+	r.applyFlush(a.Flush(nil))
+	// 750 bytes => 7 full chunks + 1 partial of 50.
+	if len(r.flushed) != 8 {
+		t.Fatalf("flushed %d chunks, want 8", len(r.flushed))
+	}
+	var pos int64
+	for i, e := range r.flushed {
+		if e.start != pos {
+			t.Fatalf("chunk %d starts at %d, want %d", i, e.start, pos)
+		}
+		want := int64(100)
+		if i == 7 {
+			want = 50
+		}
+		if e.fill != want {
+			t.Fatalf("chunk %d fill %d, want %d", i, e.fill, want)
+		}
+		pos += e.fill
+	}
+}
+
+func TestLargeWriteSpansChunks(t *testing.T) {
+	a := NewFileAgg(64)
+	r := &replay{t: t, chunkSize: 64}
+	ops := a.Write(0, 200, nil)
+	r.applyWrite(0, 200, ops)
+	r.applyFlush(a.Flush(nil))
+	if len(r.flushed) != 4 {
+		t.Fatalf("flushed %d, want 4 (3 full + tail 8)", len(r.flushed))
+	}
+	if r.flushed[3].fill != 8 {
+		t.Fatalf("tail fill = %d, want 8", r.flushed[3].fill)
+	}
+}
+
+func TestNonSequentialWriteFlushesEarly(t *testing.T) {
+	a := NewFileAgg(1000)
+	r := &replay{t: t, chunkSize: 1000}
+	ops := a.Write(0, 10, nil)
+	r.applyWrite(0, 10, ops)
+	// Seek forward: hole between 10 and 50.
+	ops = a.Write(50, 10, nil)
+	r.applyWrite(50, 10, ops)
+	r.applyFlush(a.Flush(nil))
+	if len(r.flushed) != 2 {
+		t.Fatalf("flushed %d, want 2", len(r.flushed))
+	}
+	if r.flushed[0] != (extent{0, 10}) || r.flushed[1] != (extent{50, 10}) {
+		t.Fatalf("extents = %+v", r.flushed)
+	}
+}
+
+func TestBackwardSeekFlushes(t *testing.T) {
+	a := NewFileAgg(1000)
+	ops := a.Write(100, 10, nil)
+	ops = a.Write(0, 5, ops) // rewrite at lower offset
+	var flushes int
+	for _, op := range ops {
+		if op.Kind == OpFlush {
+			flushes++
+		}
+	}
+	if flushes != 1 {
+		t.Fatalf("backward seek produced %d flushes mid-stream, want 1", flushes)
+	}
+	ops = a.Flush(nil)
+	if len(ops) != 1 || ops[0].Start != 0 || ops[0].Fill != 5 {
+		t.Fatalf("final flush = %v", ops)
+	}
+}
+
+func TestZeroWrite(t *testing.T) {
+	a := NewFileAgg(10)
+	if ops := a.Write(5, 0, nil); len(ops) != 0 {
+		t.Fatalf("zero write emitted %v", ops)
+	}
+	if ops := a.Flush(nil); len(ops) != 0 {
+		t.Fatalf("flush with nothing buffered emitted %v", ops)
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	a := NewFileAgg(10)
+	a.Write(0, 5, nil)
+	first := a.Flush(nil)
+	second := a.Flush(nil)
+	if len(first) != 1 || len(second) != 0 {
+		t.Fatalf("flush = %v then %v", first, second)
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative offset did not panic")
+		}
+	}()
+	NewFileAgg(10).Write(-1, 5, nil)
+}
+
+func TestInvalidChunkSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("chunk size 0 did not panic")
+		}
+	}()
+	NewFileAgg(0)
+}
+
+// Property: for any sequence of writes, the flushed extents exactly tile
+// the union of written ranges in order, and reconstructing the file from
+// chunk copies yields the same bytes as applying the writes directly.
+func TestReconstructionProperty(t *testing.T) {
+	type w struct {
+		Off uint16
+		Len uint8
+	}
+	f := func(writes []w, chunkPow uint8) bool {
+		chunkSize := int64(1) << (chunkPow%8 + 4) // 16..2048
+		a := NewFileAgg(chunkSize)
+
+		model := map[int64]byte{} // file model from direct writes
+		recon := map[int64]byte{} // file model from chunk flushes
+		chunk := map[int64]byte{} // active chunk content by chunk pos
+		var chunkStart int64
+		payloadByte := func(off int64) byte { return byte(off*131 + 17) }
+
+		for _, wr := range writes {
+			off, n := int64(wr.Off%8192), int64(wr.Len)
+			for i := int64(0); i < n; i++ {
+				model[off+i] = payloadByte(off + i)
+			}
+			ops := a.Write(off, n, nil)
+			for _, op := range ops {
+				switch op.Kind {
+				case OpNewChunk:
+					chunk = map[int64]byte{}
+				case OpCopy:
+					if op.Pos == 0 {
+						chunkStart = op.Off
+					}
+					for i := int64(0); i < op.N; i++ {
+						chunk[op.Pos+i] = payloadByte(op.Off + i)
+					}
+				case OpFlush:
+					if op.Start != chunkStart {
+						return false
+					}
+					for i := int64(0); i < op.Fill; i++ {
+						recon[op.Start+i] = chunk[i]
+					}
+				}
+			}
+		}
+		for _, op := range a.Flush(nil) {
+			if op.Kind != OpFlush || op.Start != chunkStart {
+				return false
+			}
+			for i := int64(0); i < op.Fill; i++ {
+				recon[op.Start+i] = chunk[i]
+			}
+		}
+		if len(model) != len(recon) {
+			return false
+		}
+		for k, v := range model {
+			if recon[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(42))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flush sizes never exceed the chunk size and are always positive.
+func TestFlushBoundsProperty(t *testing.T) {
+	f := func(lens []uint16, chunkPow uint8) bool {
+		chunkSize := int64(1) << (chunkPow%6 + 5) // 32..1024
+		a := NewFileAgg(chunkSize)
+		var off int64
+		var ops []Op
+		for _, l := range lens {
+			ops = a.Write(off, int64(l%2048), ops)
+			off += int64(l % 2048)
+		}
+		ops = a.Flush(ops)
+		for _, op := range ops {
+			if op.Kind == OpFlush && (op.Fill <= 0 || op.Fill > chunkSize) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a purely sequential stream flushes only full chunks except for
+// at most one tail.
+func TestSequentialFullChunksProperty(t *testing.T) {
+	f := func(lens []uint8) bool {
+		const chunkSize = 128
+		a := NewFileAgg(chunkSize)
+		var off int64
+		var ops []Op
+		for _, l := range lens {
+			ops = a.Write(off, int64(l), ops)
+			off += int64(l)
+		}
+		ops = a.Flush(ops)
+		var flushes []int64
+		for _, op := range ops {
+			if op.Kind == OpFlush {
+				flushes = append(flushes, op.Fill)
+			}
+		}
+		for i, f := range flushes {
+			if i < len(flushes)-1 && f != chunkSize {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkChunkerSequential(b *testing.B) {
+	a := NewFileAgg(4 << 20)
+	ops := make([]Op, 0, 16)
+	var off int64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ops = a.Write(off, 8192, ops[:0])
+		off += 8192
+	}
+}

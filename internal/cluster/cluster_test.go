@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"testing"
+
+	"crfs/internal/mpi"
+	"crfs/internal/workload"
+)
+
+func small(backend Backend, useCRFS bool) Config {
+	return Config{
+		Nodes: 2, ProcsPerNode: 4, Backend: backend, UseCRFS: useCRFS,
+		Stack: mpi.MVAPICH2, Class: workload.ClassB, Seed: 3,
+	}
+}
+
+func TestRunCheckpointAllBackends(t *testing.T) {
+	for _, backend := range Backends() {
+		for _, useCRFS := range []bool{false, true} {
+			res := RunCheckpoint(small(backend, useCRFS))
+			if res.Failed {
+				t.Fatalf("%s crfs=%v unexpectedly failed", backend, useCRFS)
+			}
+			if len(res.Logs) != 8 {
+				t.Fatalf("%s: %d logs", backend, len(res.Logs))
+			}
+			if res.AvgTime <= 0 || res.MaxTime < res.AvgTime || res.MinTime > res.AvgTime {
+				t.Errorf("%s crfs=%v: inconsistent times %v %v %v",
+					backend, useCRFS, res.MinTime, res.AvgTime, res.MaxTime)
+			}
+			wantBytes := res.ImageBytes * 8
+			if res.TotalBytes < wantBytes*95/100 || res.TotalBytes > wantBytes*115/100 {
+				t.Errorf("%s: total bytes %d vs images %d", backend, res.TotalBytes, wantBytes)
+			}
+			if useCRFS && res.CRFSStats.BackendWrites == 0 {
+				t.Errorf("%s: CRFS made no backend writes", backend)
+			}
+		}
+	}
+}
+
+func TestCRFSFasterOnAllBackendsClassB(t *testing.T) {
+	for _, backend := range Backends() {
+		nat := RunCheckpoint(small(backend, false))
+		cr := RunCheckpoint(small(backend, true))
+		if cr.AvgTime >= nat.AvgTime {
+			t.Errorf("%s: CRFS (%.2fs) not faster than native (%.2fs) at class B",
+				backend, cr.AvgTime, nat.AvgTime)
+		}
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a := RunCheckpoint(small(Lustre, true))
+	b := RunCheckpoint(small(Lustre, true))
+	if a.AvgTime != b.AvgTime || a.MaxTime != b.MaxTime {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", a.AvgTime, a.MaxTime, b.AvgTime, b.MaxTime)
+	}
+}
+
+func TestSeedChangesOutcomeSlightly(t *testing.T) {
+	cfg := small(Ext3, false)
+	a := RunCheckpoint(cfg)
+	cfg.Seed = 99
+	b := RunCheckpoint(cfg)
+	if a.AvgTime == b.AvgTime {
+		t.Error("different seeds produced identical timings (suspicious)")
+	}
+}
+
+func TestOpenMPIFailureReproduced(t *testing.T) {
+	res := RunCheckpoint(Config{
+		Nodes: 2, ProcsPerNode: 2, Backend: Lustre,
+		Stack: mpi.OpenMPI, Class: workload.ClassC, Seed: 1,
+	})
+	if !res.Failed {
+		t.Fatal("OpenMPI native Lustre class C should reproduce the paper's failure")
+	}
+	if len(res.Logs) != 0 {
+		t.Error("failed run should carry no logs")
+	}
+	ok := RunCheckpoint(Config{
+		Nodes: 2, ProcsPerNode: 2, Backend: Lustre, UseCRFS: true,
+		Stack: mpi.OpenMPI, Class: workload.ClassC, Seed: 1,
+	})
+	if ok.Failed {
+		t.Fatal("OpenMPI over CRFS must succeed")
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	cfg := small(Ext3, false)
+	cfg.TraceNode0 = true
+	res := RunCheckpoint(cfg)
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace ops captured")
+	}
+	if res.DiskStats.Ops == 0 {
+		t.Fatal("no disk stats")
+	}
+}
+
+func TestMoreNodesMoreBytes(t *testing.T) {
+	small := RunCheckpoint(Config{Nodes: 2, ProcsPerNode: 2, Backend: Ext3,
+		Stack: mpi.MPICH2, Class: workload.ClassB, Seed: 1})
+	big := RunCheckpoint(Config{Nodes: 4, ProcsPerNode: 2, Backend: Ext3,
+		Stack: mpi.MPICH2, Class: workload.ClassB, Seed: 1})
+	if big.TotalBytes <= small.TotalBytes {
+		t.Errorf("scaling up nodes did not increase bytes: %d vs %d", big.TotalBytes, small.TotalBytes)
+	}
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync"
+
+	"crfs/internal/chunker"
+)
+
+// fileEntry is one row of CRFS's open-file hash table (§IV-A). All open
+// handles of the same path share the entry; it owns the backend handle, the
+// per-file aggregator, the active chunk, and the outstanding-chunk counters
+// used by close()/fsync() to wait for completion.
+type fileEntry struct {
+	fs   *FS
+	name string
+
+	// writeMu serializes the write/flush path of this file so that the
+	// aggregation ops of one write are applied atomically even when the
+	// writer must block on the buffer pool.
+	writeMu sync.Mutex
+
+	// mu guards everything below. cond (on mu) is signalled by IO workers
+	// when completeChunks advances and by close when refs drops.
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	refs        int // open handles
+	backendFile backendHandle
+	agg         *chunker.FileAgg
+	active      *chunk // chunk currently being filled, nil if none
+	writeChunks int64  // chunks handed to the work queue ("write chunk count")
+	doneChunks  int64  // chunks completed by IO threads ("complete chunk count")
+	logicalSize int64  // max written end; backend size may lag while buffered
+	firstErr    error  // first backend write error, surfaced at close/fsync/write
+}
+
+// backendHandle is the part of vfs.File the workers and entry use.
+type backendHandle interface {
+	WriteAt(p []byte, off int64) (int, error)
+	ReadAt(p []byte, off int64) (int, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+func newFileEntry(fs *FS, name string, backend backendHandle, chunkSize int64) *fileEntry {
+	e := &fileEntry{
+		fs:          fs,
+		name:        name,
+		backendFile: backend,
+		agg:         chunker.NewFileAgg(chunkSize),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// write runs the aggregation state machine for one positional write.
+// It returns only after the payload has been copied into pool chunks; the
+// backend writes happen asynchronously (§IV-B: "the write() returns").
+func (e *fileEntry) write(p []byte, off int64) (int, error) {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+
+	e.mu.Lock()
+	if err := e.firstErr; err != nil {
+		e.mu.Unlock()
+		return 0, err
+	}
+	e.mu.Unlock()
+
+	ops := e.agg.Write(off, int64(len(p)), nil)
+	for _, op := range ops {
+		switch op.Kind {
+		case chunker.OpNewChunk:
+			// May block (pool backpressure); under pressure the mount
+			// flushes other files' partial chunks to free buffers.
+			c := e.fs.pool.get(func() { e.fs.flushPartials(e) })
+			c.entry = e
+			e.mu.Lock()
+			e.active = c
+			e.mu.Unlock()
+		case chunker.OpCopy:
+			c := e.active
+			c.fill = op.Pos + op.N
+			if op.Pos == 0 {
+				c.start = op.Off
+			}
+			copy(c.buf[op.Pos:op.Pos+op.N], p[op.Src:op.Src+op.N])
+		case chunker.OpFlush:
+			e.enqueueActive()
+		}
+	}
+	e.mu.Lock()
+	if end := off + int64(len(p)); end > e.logicalSize {
+		e.logicalSize = end
+	}
+	e.mu.Unlock()
+	e.fs.stats.bytesWritten.Add(int64(len(p)))
+	e.fs.stats.writes.Add(1)
+	return len(p), nil
+}
+
+// enqueueActive hands the active chunk to the work queue and bumps the
+// outstanding counter.
+func (e *fileEntry) enqueueActive() {
+	c := e.active
+	e.mu.Lock()
+	e.active = nil
+	e.writeChunks++
+	e.mu.Unlock()
+	e.fs.stats.chunksFlushed.Add(1)
+	e.fs.enqueue(c)
+}
+
+// flushTail enqueues the partially filled chunk, if any (close/fsync path).
+func (e *fileEntry) flushTail() {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.flushTailLocked()
+}
+
+func (e *fileEntry) flushTailLocked() {
+	for _, op := range e.agg.Flush(nil) {
+		if op.Kind == chunker.OpFlush {
+			e.enqueueActive()
+		}
+	}
+}
+
+// tryFlushTail flushes the partial chunk if the entry's write path is not
+// busy; used for buffer-pool pressure reclaim.
+func (e *fileEntry) tryFlushTail() {
+	if !e.writeMu.TryLock() {
+		return
+	}
+	defer e.writeMu.Unlock()
+	e.flushTailLocked()
+}
+
+// waitDrained blocks until every enqueued chunk of this file has been
+// written by an IO thread ("complete chunk count == write chunk count",
+// §IV-C), then returns the sticky error if any.
+func (e *fileEntry) waitDrained() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.doneChunks < e.writeChunks {
+		e.cond.Wait()
+	}
+	return e.firstErr
+}
+
+// complete is called by IO workers after writing a chunk.
+func (e *fileEntry) complete(err error) {
+	e.mu.Lock()
+	e.doneChunks++
+	if err != nil && e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.mu.Unlock()
+	e.cond.Broadcast()
+}
+
+// size returns the logical size, accounting for buffered data.
+func (e *fileEntry) size() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.logicalSize
+}

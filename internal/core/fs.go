@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"crfs/internal/vfs"
+)
+
+// FS is a CRFS mount: a vfs.FS stacked over a backend vfs.FS.
+type FS struct {
+	backend vfs.FS
+	opts    Options
+	pool    *bufferPool
+	queue   chan *chunk
+
+	mu      sync.Mutex
+	files   map[string]*fileEntry // open-file hash table, keyed by clean path
+	closed  bool
+	workers sync.WaitGroup
+
+	stats statCounters
+}
+
+// Mount stacks CRFS over backend with the given options.
+func Mount(backend vfs.FS, opts Options) (*FS, error) {
+	if backend == nil {
+		return nil, fmt.Errorf("core: nil backend: %w", errInvalidOptions)
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{
+		backend: backend,
+		opts:    opts,
+		pool:    newBufferPool(opts.BufferPoolSize, opts.ChunkSize),
+		files:   make(map[string]*fileEntry),
+	}
+	fs.queue = make(chan *chunk, fs.pool.total)
+	fs.workers.Add(opts.IOThreads)
+	for i := 0; i < opts.IOThreads; i++ {
+		go fs.ioWorker()
+	}
+	return fs, nil
+}
+
+// Options returns the effective mount options (defaults applied).
+func (fs *FS) Options() Options { return fs.opts }
+
+// Backend returns the filesystem CRFS is mounted over.
+func (fs *FS) Backend() vfs.FS { return fs.backend }
+
+// ioWorker drains the work queue: fetch a chunk, write it to the backend
+// file at its tagged offset, mark completion, recycle the buffer (§IV-B,
+// "Work Queue and IO Throttling").
+func (fs *FS) ioWorker() {
+	defer fs.workers.Done()
+	for c := range fs.queue {
+		fs.stats.queueDepth.Add(-1)
+		entry := c.entry
+		_, err := entry.backendFile.WriteAt(c.buf[:c.fill], c.start)
+		fs.stats.backendWrites.Add(1)
+		fs.stats.backendBytes.Add(c.fill)
+		fs.pool.put(c)
+		entry.complete(err)
+	}
+}
+
+// flushPartials flushes the partial buffer chunks of every open file
+// except skip (the caller, whose writeMu is held), releasing pool chunks
+// pinned as partial buffers. Called under pool pressure.
+func (fs *FS) flushPartials(skip *fileEntry) {
+	fs.mu.Lock()
+	entries := make([]*fileEntry, 0, len(fs.files))
+	for _, e := range fs.files {
+		if e != skip {
+			entries = append(entries, e)
+		}
+	}
+	fs.mu.Unlock()
+	for _, e := range entries {
+		e.tryFlushTail()
+	}
+}
+
+// enqueue hands a filled chunk to the work queue.
+func (fs *FS) enqueue(c *chunk) {
+	fs.stats.queueDepth.Add(1)
+	fs.queue <- c
+}
+
+func (fs *FS) checkOpen() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return fmt.Errorf("core: filesystem unmounted: %w", vfs.ErrClosed)
+	}
+	return nil
+}
+
+// Open implements vfs.FS. Writable opens are routed through the open-file
+// table so all handles of a path share one aggregation pipeline; read-only
+// opens of files with no outstanding writes pass straight through.
+func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
+	if err := fs.checkOpen(); err != nil {
+		return nil, err
+	}
+	key := vfs.Clean(name)
+
+	fs.mu.Lock()
+	if entry, ok := fs.files[key]; ok {
+		// File already open: share the entry (§IV-A "If the file is
+		// already opened, the reference counter ... is incremented").
+		entry.mu.Lock()
+		entry.refs++
+		if flag&vfs.Trunc != 0 && flag.Writable() {
+			entry.mu.Unlock()
+			fs.mu.Unlock()
+			return nil, fmt.Errorf("core: open %s: truncate of file with active writers unsupported: %w", key, vfs.ErrInvalid)
+		}
+		entry.mu.Unlock()
+		fs.mu.Unlock()
+		fs.stats.opens.Add(1)
+		return &file{fs: fs, entry: entry, name: key, flag: flag}, nil
+	}
+	fs.mu.Unlock()
+
+	// Open the backend file outside fs.mu: backend opens may be slow.
+	bf, err := fs.backend.Open(key, flag)
+	if err != nil {
+		return nil, err
+	}
+	info, err := bf.Stat()
+	if err != nil {
+		bf.Close()
+		return nil, err
+	}
+
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		bf.Close()
+		return nil, fmt.Errorf("core: filesystem unmounted: %w", vfs.ErrClosed)
+	}
+	if entry, ok := fs.files[key]; ok {
+		// Lost a race with another opener; share theirs.
+		entry.mu.Lock()
+		entry.refs++
+		entry.mu.Unlock()
+		fs.mu.Unlock()
+		bf.Close()
+		fs.stats.opens.Add(1)
+		return &file{fs: fs, entry: entry, name: key, flag: flag}, nil
+	}
+	entry := newFileEntry(fs, key, bf, fs.opts.ChunkSize)
+	entry.refs = 1
+	entry.logicalSize = info.Size
+	fs.files[key] = entry
+	fs.mu.Unlock()
+	fs.stats.opens.Add(1)
+	return &file{fs: fs, entry: entry, name: key, flag: flag}, nil
+}
+
+// releaseEntry decrements the entry's refcount and, on the last close,
+// removes it from the table and closes the backend handle.
+func (fs *FS) releaseEntry(entry *fileEntry) error {
+	entry.mu.Lock()
+	entry.refs--
+	last := entry.refs == 0
+	entry.mu.Unlock()
+	if !last {
+		return nil
+	}
+	fs.mu.Lock()
+	delete(fs.files, entry.name)
+	fs.mu.Unlock()
+	return entry.backendFile.Close()
+}
+
+// Mkdir implements vfs.FS (passthrough, §IV-D.3).
+func (fs *FS) Mkdir(name string) error {
+	if err := fs.checkOpen(); err != nil {
+		return err
+	}
+	return fs.backend.Mkdir(name)
+}
+
+// MkdirAll implements vfs.FS (passthrough).
+func (fs *FS) MkdirAll(name string) error {
+	if err := fs.checkOpen(); err != nil {
+		return err
+	}
+	return fs.backend.MkdirAll(name)
+}
+
+// Remove implements vfs.FS (passthrough).
+func (fs *FS) Remove(name string) error {
+	if err := fs.checkOpen(); err != nil {
+		return err
+	}
+	return fs.backend.Remove(name)
+}
+
+// Rename implements vfs.FS (passthrough). Renaming a file with buffered
+// writes first drains it so no chunk lands under the old name afterwards.
+func (fs *FS) Rename(oldName, newName string) error {
+	if err := fs.checkOpen(); err != nil {
+		return err
+	}
+	if entry := fs.lookupEntry(oldName); entry != nil {
+		entry.flushTail()
+		if err := entry.waitDrained(); err != nil {
+			return err
+		}
+	}
+	return fs.backend.Rename(oldName, newName)
+}
+
+// Stat implements vfs.FS. For files with buffered data the logical size is
+// reported, since the backend size lags until chunks land.
+func (fs *FS) Stat(name string) (vfs.FileInfo, error) {
+	if err := fs.checkOpen(); err != nil {
+		return vfs.FileInfo{}, err
+	}
+	info, err := fs.backend.Stat(name)
+	if entry := fs.lookupEntry(name); entry != nil {
+		if err != nil {
+			return vfs.FileInfo{}, err
+		}
+		if size := entry.size(); size > info.Size {
+			info.Size = size
+		}
+	}
+	return info, err
+}
+
+// ReadDir implements vfs.FS (passthrough).
+func (fs *FS) ReadDir(name string) ([]vfs.DirEntry, error) {
+	if err := fs.checkOpen(); err != nil {
+		return nil, err
+	}
+	return fs.backend.ReadDir(name)
+}
+
+// Truncate implements vfs.FS. Open files are drained first so buffered
+// chunks cannot resurrect truncated data.
+func (fs *FS) Truncate(name string, size int64) error {
+	if err := fs.checkOpen(); err != nil {
+		return err
+	}
+	if entry := fs.lookupEntry(name); entry != nil {
+		entry.flushTail()
+		if err := entry.waitDrained(); err != nil {
+			return err
+		}
+		err := fs.backend.Truncate(name, size)
+		if err == nil {
+			entry.mu.Lock()
+			entry.logicalSize = size
+			entry.mu.Unlock()
+		}
+		return err
+	}
+	return fs.backend.Truncate(name, size)
+}
+
+func (fs *FS) lookupEntry(name string) *fileEntry {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.files[vfs.Clean(name)]
+}
+
+// SyncAll flushes every open file's buffered chunks, waits for them to
+// land, then asks the backend to sync if it can.
+func (fs *FS) SyncAll() error {
+	if err := fs.checkOpen(); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	entries := make([]*fileEntry, 0, len(fs.files))
+	for _, e := range fs.files {
+		entries = append(entries, e)
+	}
+	fs.mu.Unlock()
+	var firstErr error
+	for _, e := range entries {
+		e.flushTail()
+	}
+	for _, e := range entries {
+		if err := e.waitDrained(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if s, ok := fs.backend.(vfs.Syncer); ok {
+		if err := s.SyncAll(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Unmount drains all buffered data, stops the IO workers, and marks the
+// filesystem closed. Open handles become invalid. Unmount returns the
+// first backend write error encountered by any file, if any.
+func (fs *FS) Unmount() error {
+	fs.mu.Lock()
+	if fs.closed {
+		fs.mu.Unlock()
+		return fmt.Errorf("core: filesystem unmounted: %w", vfs.ErrClosed)
+	}
+	fs.closed = true
+	entries := make([]*fileEntry, 0, len(fs.files))
+	for _, e := range fs.files {
+		entries = append(entries, e)
+	}
+	fs.files = make(map[string]*fileEntry)
+	fs.mu.Unlock()
+
+	var firstErr error
+	for _, e := range entries {
+		e.flushTail()
+	}
+	for _, e := range entries {
+		if err := e.waitDrained(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := e.backendFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	close(fs.queue)
+	fs.workers.Wait()
+	return firstErr
+}
+
+var (
+	_ vfs.FS     = (*FS)(nil)
+	_ vfs.Syncer = (*FS)(nil)
+)

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// chunk is one buffer-pool chunk. While active it accumulates a contiguous
+// extent of exactly one file; on flush it carries the metadata the IO
+// thread needs (§IV-B: "Each chunk is tagged with ... target file handler,
+// offset into the file, valid data size").
+type chunk struct {
+	buf   []byte
+	entry *fileEntry // target file; nil while free
+	start int64      // offset of buf[0] in the target file
+	fill  int64      // valid bytes in buf
+}
+
+func (c *chunk) reset() {
+	c.entry = nil
+	c.start = 0
+	c.fill = 0
+}
+
+// bufferPool is the mount-time pool of fixed-size chunks (§IV-B). Get
+// blocks while the pool is empty, which is exactly the paper's
+// backpressure: writers stall when aggregation outruns the IO threads.
+type bufferPool struct {
+	free      chan *chunk
+	chunkSize int64
+	total     int
+	waits     atomic.Int64 // Get calls that had to block
+}
+
+func newBufferPool(poolSize, chunkSize int64) *bufferPool {
+	n := int(poolSize / chunkSize)
+	if n < 1 {
+		n = 1
+	}
+	p := &bufferPool{
+		free:      make(chan *chunk, n),
+		chunkSize: chunkSize,
+		total:     n,
+	}
+	for i := 0; i < n; i++ {
+		p.free <- &chunk{buf: make([]byte, chunkSize)}
+	}
+	return p
+}
+
+// get returns a free chunk, blocking until one is available. While
+// blocked it periodically invokes reclaim, which flushes other files'
+// partial chunks: with more concurrently written files than pool chunks,
+// every chunk can be pinned as some file's partial buffer, and without
+// reclamation writers would deadlock (a corner the paper's design leaves
+// open).
+func (p *bufferPool) get(reclaim func()) *chunk {
+	select {
+	case c := <-p.free:
+		return c
+	default:
+	}
+	p.waits.Add(1)
+	for {
+		select {
+		case c := <-p.free:
+			return c
+		case <-time.After(200 * time.Microsecond):
+			if reclaim != nil {
+				reclaim()
+			}
+		}
+	}
+}
+
+// put returns a chunk to the pool. It never blocks: the pool's capacity
+// equals the number of chunks in existence.
+func (p *bufferPool) put(c *chunk) {
+	c.reset()
+	p.free <- c
+}

@@ -1,0 +1,71 @@
+package core
+
+import "sync/atomic"
+
+// statCounters aggregates mount-wide activity with atomics so the hot
+// write path never takes a statistics lock.
+type statCounters struct {
+	opens         atomic.Int64
+	writes        atomic.Int64
+	reads         atomic.Int64
+	syncs         atomic.Int64
+	bytesWritten  atomic.Int64
+	bytesRead     atomic.Int64
+	chunksFlushed atomic.Int64
+	backendWrites atomic.Int64
+	backendBytes  atomic.Int64
+	queueDepth    atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a mount's activity. It quantifies
+// the paper's aggregation effect: Writes (application write calls) versus
+// BackendWrites (large chunk writes reaching the backing filesystem).
+type Stats struct {
+	// Opens counts Open calls that returned successfully.
+	Opens int64
+	// Writes counts application WriteAt calls absorbed by aggregation.
+	Writes int64
+	// Reads counts application ReadAt calls (passthrough).
+	Reads int64
+	// Syncs counts application Sync calls.
+	Syncs int64
+	// BytesWritten is the total payload accepted from writers.
+	BytesWritten int64
+	// BytesRead is the total payload returned to readers.
+	BytesRead int64
+	// ChunksFlushed counts chunks handed to the work queue.
+	ChunksFlushed int64
+	// BackendWrites counts WriteAt calls issued to the backend by IO
+	// workers; the aggregation ratio is Writes / BackendWrites.
+	BackendWrites int64
+	// BackendBytes is the total bytes written to the backend.
+	BackendBytes int64
+	// PoolWaits counts chunk allocations that had to block on the pool —
+	// the backpressure signal that aggregation outran the IO threads.
+	PoolWaits int64
+}
+
+// AggregationRatio returns application writes per backend write, the
+// paper's headline effect (many small writes become few large ones).
+func (s Stats) AggregationRatio() float64 {
+	if s.BackendWrites == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.BackendWrites)
+}
+
+// Stats returns a snapshot of the mount's counters.
+func (fs *FS) Stats() Stats {
+	return Stats{
+		Opens:         fs.stats.opens.Load(),
+		Writes:        fs.stats.writes.Load(),
+		Reads:         fs.stats.reads.Load(),
+		Syncs:         fs.stats.syncs.Load(),
+		BytesWritten:  fs.stats.bytesWritten.Load(),
+		BytesRead:     fs.stats.bytesRead.Load(),
+		ChunksFlushed: fs.stats.chunksFlushed.Load(),
+		BackendWrites: fs.stats.backendWrites.Load(),
+		BackendBytes:  fs.stats.backendBytes.Load(),
+		PoolWaits:     fs.pool.waits.Load(),
+	}
+}

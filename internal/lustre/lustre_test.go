@@ -1,0 +1,156 @@
+package lustre
+
+import (
+	"fmt"
+	"testing"
+
+	"crfs/internal/des"
+)
+
+func TestRoundRobinPlacement(t *testing.T) {
+	env := des.New()
+	fs := New(env, Params{OSSCount: 3})
+	c := NewClient(env, "n0", fs)
+	env.Spawn("w", func(p *des.Proc) {
+		for i := 0; i < 6; i++ {
+			f := c.Open(p, fmt.Sprintf("f%d", i))
+			f.Write(p, 0, 1<<20)
+			f.Close(p)
+		}
+	})
+	env.Run()
+	env.Shutdown()
+	for i, o := range fs.osses {
+		if o.rpcs != 2 {
+			t.Errorf("oss%d served %d RPCs, want 2 (round-robin)", i, o.rpcs)
+		}
+	}
+}
+
+func TestRPCChunking(t *testing.T) {
+	env := des.New()
+	fs := New(env, Params{OSSCount: 1, RPCMax: 1 << 20})
+	c := NewClient(env, "n0", fs)
+	env.Spawn("w", func(p *des.Proc) {
+		f := c.Open(p, "f")
+		f.Write(p, 0, 4<<20+100) // 5 RPCs
+		f.Close(p)
+	})
+	env.Run()
+	env.Shutdown()
+	if got := fs.TotalRPCs(); got != 5 {
+		t.Errorf("RPCs = %d, want 5", got)
+	}
+}
+
+func TestPerRPCOverheadDominatesSmallWrites(t *testing.T) {
+	run := func(writeSize int64) des.Time {
+		env := des.New()
+		fs := New(env, Params{})
+		var done des.Time
+		for n := 0; n < 4; n++ {
+			n := n
+			c := NewClient(env, fmt.Sprintf("n%d", n), fs)
+			env.Spawn(fmt.Sprintf("w%d", n), func(p *des.Proc) {
+				f := c.Open(p, fmt.Sprintf("f%d", n))
+				for off := int64(0); off < 16<<20; off += writeSize {
+					f.Write(p, off, writeSize)
+				}
+				f.Close(p)
+				if p.Now() > done {
+					done = p.Now()
+				}
+			})
+		}
+		env.Run()
+		env.Shutdown()
+		return done
+	}
+	small, large := run(8<<10), run(4<<20)
+	if float64(small) < 2*float64(large) {
+		t.Errorf("8KB writes (%.3fs) not much slower than 4MB writes (%.3fs)",
+			des.Seconds(small), des.Seconds(large))
+	}
+}
+
+func TestStreamPenaltyGrowsWithOpenFiles(t *testing.T) {
+	env := des.New()
+	fs := New(env, Params{OSSCount: 1, StreamPenaltyK: 0.1, StreamPenaltyCap: 3})
+	oss := fs.osses[0]
+	base := oss.svc()
+	c := NewClient(env, "n0", fs)
+	env.Spawn("w", func(p *des.Proc) {
+		var files []simFile
+		for i := 0; i < 20; i++ {
+			files = append(files, c.Open(p, fmt.Sprintf("f%d", i)))
+		}
+		loaded := oss.svc()
+		if loaded <= base {
+			t.Errorf("svc with 20 streams (%d) not above base (%d)", loaded, base)
+		}
+		if float64(loaded) > 3.05*float64(fs.params.SvcBase) {
+			t.Errorf("svc %d exceeds cap", loaded)
+		}
+		for _, f := range files {
+			f.Close(p)
+		}
+		if oss.svc() != base {
+			t.Error("svc did not recover after closes")
+		}
+	})
+	env.Run()
+	env.Shutdown()
+}
+
+type simFile interface {
+	Close(p *des.Proc)
+}
+
+func TestOSSCacheOverflowHitsDisk(t *testing.T) {
+	env := des.New()
+	pr := Params{OSSCount: 1}
+	pr.Store.HardDirtyLimit = 16 << 20
+	pr.Store.BgThresh = 2 << 20
+	fs := New(env, pr)
+	c := NewClient(env, "n0", fs)
+	env.Spawn("w", func(p *des.Proc) {
+		f := c.Open(p, "f")
+		for off := int64(0); off < 128<<20; off += 1 << 20 {
+			f.Write(p, off, 1<<20)
+		}
+		f.Close(p)
+	})
+	env.Run()
+	env.Shutdown()
+	if fs.OSSDisks()[0].Stats().BytesWritten == 0 {
+		t.Error("OST disk untouched despite cache overflow")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() des.Time {
+		env := des.New()
+		fs := New(env, Params{})
+		var end des.Time
+		for n := 0; n < 4; n++ {
+			n := n
+			c := NewClient(env, fmt.Sprintf("n%d", n), fs)
+			env.Spawn(fmt.Sprintf("w%d", n), func(p *des.Proc) {
+				f := c.Open(p, fmt.Sprintf("f%d", n))
+				for off := int64(0); off < 4<<20; off += 12000 {
+					f.Write(p, off, 12000)
+				}
+				f.Close(p)
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		env.Run()
+		env.Shutdown()
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,91 @@
+// Package mpi models the three C/R-capable MPI stacks of the paper's
+// evaluation — MVAPICH2 1.6rc3, MPICH2 1.3.2p1, and OpenMPI 1.5.1 — at
+// the level that matters for checkpoint IO (§II-C, §V):
+//
+//   - the per-process image-size contribution of the runtime (InfiniBand
+//     transports pin several MB of registered buffers and QP state per
+//     process, TCP transports far less — Table II),
+//   - the coordinated checkpoint protocol (suspend channels → dump every
+//     process with BLCR → barrier → resume), and
+//   - observed quirks: the paper could not checkpoint OpenMPI over native
+//     Lustre at class C at all ("the checkpoint in OpenMPI always failed
+//     for these conditions", Fig. 8b), which the model reproduces.
+package mpi
+
+import (
+	"crfs/internal/workload"
+)
+
+// Transport is an MPI communication substrate.
+type Transport string
+
+// Transports used in the paper.
+const (
+	InfiniBand Transport = "IB"
+	TCP        Transport = "TCP"
+)
+
+// Stack models one MPI implementation.
+type Stack struct {
+	// Name is the implementation name as used in the paper.
+	Name string
+	// Transport tags the communication substrate (Table II's -IB/-TCP).
+	Transport Transport
+	// RuntimeOverhead is the per-process image contribution of the MPI
+	// runtime: communication buffers, connection state, registered
+	// memory. Calibrated against Table II.
+	RuntimeOverhead int64
+	// PerProcConnBytes grows the footprint with job size (connection
+	// state per peer).
+	PerProcConnBytes int64
+	// nativeLustreClassCFails reproduces the paper's OpenMPI failure.
+	nativeLustreClassCFails bool
+}
+
+// The three evaluated stacks.
+var (
+	MVAPICH2 = Stack{
+		Name: "MVAPICH2", Transport: InfiniBand,
+		RuntimeOverhead: 4400 << 10, PerProcConnBytes: 4 << 10,
+	}
+	OpenMPI = Stack{
+		Name: "OpenMPI", Transport: InfiniBand,
+		RuntimeOverhead:         4300 << 10,
+		PerProcConnBytes:        4 << 10,
+		nativeLustreClassCFails: true,
+	}
+	MPICH2 = Stack{
+		Name: "MPICH2", Transport: TCP,
+		RuntimeOverhead: 1300 << 10, PerProcConnBytes: 1 << 10,
+	}
+)
+
+// Stacks lists the evaluated stacks in the paper's presentation order.
+func Stacks() []Stack { return []Stack{MVAPICH2, MPICH2, OpenMPI} }
+
+// ImageBytes returns the per-process checkpoint image size for a stack
+// running the given class over nprocs processes (Table II's "Process
+// Image Size").
+func (s Stack) ImageBytes(class workload.Class, nprocs int) (int64, error) {
+	app, err := workload.LUProcBytes(class, nprocs)
+	if err != nil {
+		return 0, err
+	}
+	return app + s.RuntimeOverhead + s.PerProcConnBytes*int64(nprocs-1), nil
+}
+
+// TotalCheckpointBytes returns the job-wide checkpoint size (Table II's
+// "Total Checkpoint Size").
+func (s Stack) TotalCheckpointBytes(class workload.Class, nprocs int) (int64, error) {
+	img, err := s.ImageBytes(class, nprocs)
+	if err != nil {
+		return 0, err
+	}
+	return img * int64(nprocs), nil
+}
+
+// CheckpointFails reports whether this stack's checkpoint is known to fail
+// for the given backend/mode combination (the paper's Fig. 8 hole).
+func (s Stack) CheckpointFails(backend string, class workload.Class, useCRFS bool) bool {
+	return s.nativeLustreClassCFails && backend == "lustre" && class == workload.ClassC && !useCRFS
+}

@@ -1,0 +1,61 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+
+	"crfs/internal/workload"
+)
+
+// TestImageSizesMatchTableII checks the image-size model against the
+// paper's Table II within 10%.
+func TestImageSizesMatchTableII(t *testing.T) {
+	paper := map[string]map[workload.Class]float64{ // image MB at 128 procs
+		"MVAPICH2": {workload.ClassB: 7.1, workload.ClassC: 15.1, workload.ClassD: 106.7},
+		"OpenMPI":  {workload.ClassB: 7.1, workload.ClassC: 13.7, workload.ClassD: 108.3},
+		"MPICH2":   {workload.ClassB: 3.9, workload.ClassC: 10.7, workload.ClassD: 103.6},
+	}
+	for _, stack := range Stacks() {
+		for class, want := range paper[stack.Name] {
+			img, err := stack.ImageBytes(class, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := float64(img) / (1 << 20)
+			if math.Abs(got-want)/want > 0.12 {
+				t.Errorf("%s LU.%s.128: image %.1f MB, paper %.1f MB", stack.Name, class, got, want)
+			}
+		}
+	}
+}
+
+func TestIBCarriesMoreThanTCP(t *testing.T) {
+	ib, _ := MVAPICH2.ImageBytes(workload.ClassB, 128)
+	tcp, _ := MPICH2.ImageBytes(workload.ClassB, 128)
+	if ib <= tcp {
+		t.Errorf("IB image (%d) should exceed TCP image (%d)", ib, tcp)
+	}
+}
+
+func TestTotalIsImageTimesProcs(t *testing.T) {
+	img, _ := MVAPICH2.ImageBytes(workload.ClassC, 128)
+	tot, _ := MVAPICH2.TotalCheckpointBytes(workload.ClassC, 128)
+	if tot != img*128 {
+		t.Errorf("total %d != image %d x 128", tot, img)
+	}
+}
+
+func TestOpenMPILustreQuirk(t *testing.T) {
+	if !OpenMPI.CheckpointFails("lustre", workload.ClassC, false) {
+		t.Error("OpenMPI native Lustre class C should fail (paper Fig. 8)")
+	}
+	if OpenMPI.CheckpointFails("lustre", workload.ClassC, true) {
+		t.Error("OpenMPI over CRFS must not fail")
+	}
+	if OpenMPI.CheckpointFails("ext3", workload.ClassC, false) {
+		t.Error("OpenMPI native ext3 must not fail")
+	}
+	if MVAPICH2.CheckpointFails("lustre", workload.ClassC, false) {
+		t.Error("MVAPICH2 must not fail anywhere")
+	}
+}

@@ -1,0 +1,144 @@
+package nfs
+
+import (
+	"fmt"
+	"testing"
+
+	"crfs/internal/des"
+)
+
+func TestRPCSplitting(t *testing.T) {
+	env := des.New()
+	s := NewServer(env, Params{WSize: 32 << 10})
+	c := NewClient(env, "n0", s)
+	env.Spawn("w", func(p *des.Proc) {
+		f := c.Open(p, "f")
+		f.Write(p, 0, 100<<10) // 100 KB -> 4 RPCs (32+32+32+4)
+		f.Close(p)
+	})
+	env.Run()
+	env.Shutdown()
+	if s.RPCs() != 4 {
+		t.Errorf("RPCs = %d, want 4", s.RPCs())
+	}
+}
+
+func TestManySmallRPCsSlowerThanFewLarge(t *testing.T) {
+	// Same volume, 8 KB writes vs 4 MB writes: RPC overhead must
+	// dominate the small-write case (the paper's native-NFS pathology).
+	run := func(writeSize int64) des.Time {
+		env := des.New()
+		s := NewServer(env, Params{})
+		var done des.Time
+		for n := 0; n < 4; n++ {
+			n := n
+			c := NewClient(env, fmt.Sprintf("n%d", n), s)
+			env.Spawn(fmt.Sprintf("w%d", n), func(p *des.Proc) {
+				f := c.Open(p, fmt.Sprintf("f%d", n))
+				for off := int64(0); off < 8<<20; off += writeSize {
+					f.Write(p, off, writeSize)
+				}
+				f.Close(p)
+				if p.Now() > done {
+					done = p.Now()
+				}
+			})
+		}
+		env.Run()
+		env.Shutdown()
+		return done
+	}
+	small, large := run(8<<10), run(4<<20)
+	if float64(small) < 1.5*float64(large) {
+		t.Errorf("8KB writes (%.2fs) not much slower than 4MB writes (%.2fs)",
+			des.Seconds(small), des.Seconds(large))
+	}
+}
+
+func TestServerCacheOverflowEngagesDisk(t *testing.T) {
+	env := des.New()
+	p := Params{}
+	p.Store.HardDirtyLimit = 8 << 20 // tiny server cache
+	p.Store.BgThresh = 1 << 20
+	s := NewServer(env, p)
+	c := NewClient(env, "n0", s)
+	env.Spawn("w", func(pp *des.Proc) {
+		f := c.Open(pp, "f")
+		for off := int64(0); off < 64<<20; off += 1 << 20 {
+			f.Write(pp, off, 1<<20)
+		}
+		f.Close(pp)
+	})
+	env.Run()
+	env.Shutdown()
+	if s.Store().Disk().Stats().BytesWritten == 0 {
+		t.Error("server disk untouched despite cache overflow")
+	}
+}
+
+func TestCommitDrainsFile(t *testing.T) {
+	env := des.New()
+	s := NewServer(env, Params{})
+	c := NewClient(env, "n0", s)
+	env.Spawn("w", func(p *des.Proc) {
+		f := c.Open(p, "f")
+		f.Write(p, 0, 4<<20)
+		f.Sync(p)
+	})
+	env.Run()
+	env.Shutdown()
+	if got := s.Store().Disk().Stats().BytesWritten; got < 4<<20 {
+		t.Errorf("after COMMIT only %d bytes on server disk", got)
+	}
+}
+
+func TestReadRPCs(t *testing.T) {
+	env := des.New()
+	s := NewServer(env, Params{WSize: 32 << 10, RSize: 32 << 10})
+	c := NewClient(env, "n0", s)
+	var took des.Duration
+	env.Spawn("r", func(p *des.Proc) {
+		f := c.Open(p, "f")
+		f.Write(p, 0, 1<<20)
+		t0 := p.Now()
+		f.Read(p, 0, 1<<20)
+		took = p.Now() - t0
+		f.Close(p)
+	})
+	env.Run()
+	env.Shutdown()
+	if took <= 0 {
+		t.Error("read consumed no time")
+	}
+	if s.RPCs() != 32+32 { // 32 write + 32 read RPCs
+		t.Errorf("RPCs = %d, want 64", s.RPCs())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() des.Time {
+		env := des.New()
+		s := NewServer(env, Params{})
+		var end des.Time
+		for n := 0; n < 3; n++ {
+			n := n
+			c := NewClient(env, fmt.Sprintf("n%d", n), s)
+			env.Spawn(fmt.Sprintf("w%d", n), func(p *des.Proc) {
+				f := c.Open(p, fmt.Sprintf("f%d", n))
+				for off := int64(0); off < 2<<20; off += 10000 {
+					f.Write(p, off, 10000)
+				}
+				f.Close(p)
+				if p.Now() > end {
+					end = p.Now()
+				}
+			})
+		}
+		env.Run()
+		env.Shutdown()
+		return end
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}

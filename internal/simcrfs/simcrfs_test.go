@@ -1,0 +1,256 @@
+package simcrfs
+
+import (
+	"fmt"
+	"testing"
+
+	"crfs/internal/core"
+	"crfs/internal/des"
+	"crfs/internal/ext3"
+	"crfs/internal/fuse"
+	"crfs/internal/memfs"
+	"crfs/internal/simio"
+	"crfs/internal/vfs"
+)
+
+func TestChunkAccounting(t *testing.T) {
+	env := des.New()
+	m := NewMount(env, "crfs", &Discard{}, Options{ChunkSize: 1 << 20, BufferPoolSize: 4 << 20})
+	env.Spawn("w", func(p *des.Proc) {
+		f := m.Open(p, "ckpt")
+		var off int64
+		for i := 0; i < 100; i++ { // 100 x 100 KB = 10 MB -> 10 chunks + tail
+			f.Write(p, off, 100<<10)
+			off += 100 << 10
+		}
+		f.Close(p)
+	})
+	env.Run()
+	env.Shutdown()
+	st := m.Stats()
+	if st.Writes != 100 || st.BytesWritten != 100*(100<<10) {
+		t.Errorf("stats = %+v", st)
+	}
+	// 10,240,000 bytes / 1 MiB chunks = 9 full + 1 partial.
+	if st.ChunksFlushed != 10 {
+		t.Errorf("ChunksFlushed = %d, want 10", st.ChunksFlushed)
+	}
+	if st.BackendWrites != st.ChunksFlushed {
+		t.Errorf("backend writes %d != flushed %d", st.BackendWrites, st.ChunksFlushed)
+	}
+}
+
+func TestCloseWaitsForChunks(t *testing.T) {
+	// Slow backend: close must not return before all chunks are written.
+	env := des.New()
+	slow := &Discard{PerOp: 10 * des.Millisecond}
+	m := NewMount(env, "crfs", slow, Options{ChunkSize: 1 << 20, BufferPoolSize: 16 << 20, IOThreads: 1})
+	var closeDone des.Time
+	env.Spawn("w", func(p *des.Proc) {
+		f := m.Open(p, "ckpt")
+		f.Write(p, 0, 8<<20) // 8 chunks, 10 ms each on 1 IO thread
+		f.Close(p)
+		closeDone = p.Now()
+	})
+	env.Run()
+	env.Shutdown()
+	if des.Seconds(closeDone) < 0.08 {
+		t.Errorf("close returned at %.3fs, before 8 x 10ms of backend writes", des.Seconds(closeDone))
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	env := des.New()
+	slow := &Discard{PerOp: des.Millisecond}
+	m := NewMount(env, "crfs", slow, Options{ChunkSize: 1 << 20, BufferPoolSize: 1 << 20, IOThreads: 1})
+	env.Spawn("w", func(p *des.Proc) {
+		f := m.Open(p, "ckpt")
+		f.Write(p, 0, 8<<20)
+		f.Close(p)
+	})
+	env.Run()
+	env.Shutdown()
+	if m.Stats().PoolWaits == 0 {
+		t.Error("single-chunk pool never blocked the writer")
+	}
+}
+
+func TestThrottlingLimitsBackendConcurrency(t *testing.T) {
+	// 8 writers through CRFS with 4 IO threads: the ext3 backend must
+	// never see more than 4 concurrent write streams (the dirtier count
+	// is the IO thread count).
+	env := des.New()
+	back := ext3.New(env, "n0", ext3.Params{})
+	m := NewMount(env, "crfs", back, Options{IOThreads: 4})
+	for w := 0; w < 8; w++ {
+		w := w
+		env.Spawn(fmt.Sprintf("w%d", w), func(p *des.Proc) {
+			f := m.Open(p, fmt.Sprintf("ckpt%d", w))
+			f.Write(p, 0, 8<<20)
+			f.Close(p)
+		})
+	}
+	env.Run()
+	env.Shutdown()
+	if m.Stats().BackendWrites == 0 {
+		t.Fatal("no backend writes")
+	}
+}
+
+func TestBigWritesReducesFUSERequests(t *testing.T) {
+	count := func(big bool) int64 {
+		env := des.New()
+		m := NewMount(env, "crfs", &Discard{}, Options{FUSE: fuseCfg(big)})
+		env.Spawn("w", func(p *des.Proc) {
+			f := m.Open(p, "ckpt")
+			f.Write(p, 0, 4<<20)
+			f.Close(p)
+		})
+		env.Run()
+		env.Shutdown()
+		return m.Stats().FUSERequests
+	}
+	small, big := count(false), count(true)
+	if big*31 > small {
+		t.Errorf("big_writes requests = %d, default = %d, want 32x reduction", big, small)
+	}
+}
+
+func TestFasterWithMoreIOThreads(t *testing.T) {
+	run := func(threads int) des.Time {
+		env := des.New()
+		slow := &Discard{PerOp: 20 * des.Millisecond}
+		m := NewMount(env, "crfs", slow, Options{IOThreads: threads, BufferPoolSize: 64 << 20})
+		var done des.Time
+		env.Spawn("w", func(p *des.Proc) {
+			f := m.Open(p, "ckpt")
+			f.Write(p, 0, 64<<20)
+			f.Close(p)
+			done = p.Now()
+		})
+		env.Run()
+		env.Shutdown()
+		return done
+	}
+	if one, four := run(1), run(4); four >= one {
+		t.Errorf("4 threads (%.3fs) not faster than 1 (%.3fs) on slow backend",
+			des.Seconds(four), des.Seconds(one))
+	}
+}
+
+// Cross-validation: the simulated CRFS and the real library must produce
+// identical per-file backend write sequences for the same input stream,
+// since they share the chunker policy.
+func TestCrossValidateWithCore(t *testing.T) {
+	writeSizes := []int64{100, 4096, 64 << 10, 1 << 20, 3, 5 << 20, 8192, 777}
+
+	// Real library over a recording backend.
+	rec := &recordingFS{FS: memfs.New()}
+	cfs, err := core.Mount(rec, core.Options{ChunkSize: 1 << 20, BufferPoolSize: 8 << 20, IOThreads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fh, err := cfs.Open("f", vfs.WriteOnly|vfs.Create)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	for _, n := range writeSizes {
+		if _, err := fh.WriteAt(make([]byte, n), off); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if err := fh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cfs.Unmount()
+
+	// Simulated CRFS over a recording sim backend.
+	env := des.New()
+	simRec := &recordingSimFS{}
+	m := NewMount(env, "crfs", simRec, Options{ChunkSize: 1 << 20, BufferPoolSize: 8 << 20, IOThreads: 1})
+	env.Spawn("w", func(p *des.Proc) {
+		f := m.Open(p, "f")
+		var off int64
+		for _, n := range writeSizes {
+			f.Write(p, off, n)
+			off += n
+		}
+		f.Close(p)
+	})
+	env.Run()
+	env.Shutdown()
+
+	if len(rec.writes) != len(simRec.writes) {
+		t.Fatalf("real library issued %d backend writes, simulation %d:\n%v\n%v",
+			len(rec.writes), len(simRec.writes), rec.writes, simRec.writes)
+	}
+	for i := range rec.writes {
+		if rec.writes[i] != simRec.writes[i] {
+			t.Errorf("backend write %d differs: real %+v, sim %+v", i, rec.writes[i], simRec.writes[i])
+		}
+	}
+}
+
+type writeEvt struct{ off, n int64 }
+
+// recordingFS wraps a real vfs.FS and records WriteAt calls.
+type recordingFS struct {
+	*memfs.FS
+	writes []writeEvt
+}
+
+func (r *recordingFS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
+	f, err := r.FS.Open(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return &recordingFile{File: f, fs: r}, nil
+}
+
+type recordingFile struct {
+	vfs.File
+	fs *recordingFS
+}
+
+func (f *recordingFile) WriteAt(p []byte, off int64) (int, error) {
+	f.fs.writes = append(f.fs.writes, writeEvt{off, int64(len(p))})
+	return f.File.WriteAt(p, off)
+}
+
+// recordingSimFS records simulated backend writes.
+type recordingSimFS struct {
+	writes []writeEvt
+}
+
+func (r *recordingSimFS) Open(p *des.Proc, name string) simio.File {
+	return &recordingSimFile{fs: r, name: name}
+}
+func (r *recordingSimFS) AddDirtier()    {}
+func (r *recordingSimFS) RemoveDirtier() {}
+
+type recordingSimFile struct {
+	fs   *recordingSimFS
+	name string
+	size int64
+}
+
+func (f *recordingSimFile) Name() string { return f.name }
+func (f *recordingSimFile) Size() int64  { return f.size }
+func (f *recordingSimFile) Write(p *des.Proc, off, n int64) {
+	f.fs.writes = append(f.fs.writes, writeEvt{off, n})
+	if off+n > f.size {
+		f.size = off + n
+	}
+}
+func (f *recordingSimFile) Read(p *des.Proc, off, n int64) {}
+func (f *recordingSimFile) Sync(p *des.Proc)               {}
+func (f *recordingSimFile) Close(p *des.Proc)              {}
+
+func fuseCfg(big bool) fuse.Config {
+	if big {
+		return fuse.Config{BigWrites: true}
+	}
+	return fuse.Config{MaxWrite: fuse.DefaultMaxWrite}
+}

@@ -1,0 +1,41 @@
+// Package simio defines the virtual-time filesystem interface spoken by
+// every simulated backend (ext3, NFS client, Lustre client) and by the
+// simulated CRFS layer itself, mirroring how the real library's layers all
+// speak vfs.FS.
+//
+// A simio filesystem does not store bytes — simulations only move time —
+// but it tracks sizes and charges each caller the modelled latency of the
+// operation in its node's context.
+package simio
+
+import "crfs/internal/des"
+
+// FS is a virtual-time filesystem as seen from one node.
+type FS interface {
+	// Open opens or creates name for the calling process, charging the
+	// modelled open cost, and returns a handle.
+	Open(p *des.Proc, name string) File
+	// AddDirtier and RemoveDirtier track how many streams are actively
+	// dirtying this filesystem from this node; per-task dirty-throttling
+	// thresholds depend on it (Linux balance_dirty_pages behaviour).
+	AddDirtier()
+	RemoveDirtier()
+}
+
+// File is an open virtual-time file handle.
+type File interface {
+	// Write blocks the calling process for the modelled duration of a
+	// positional write of n bytes at off.
+	Write(p *des.Proc, off, n int64)
+	// Read blocks for the modelled duration of a positional read.
+	Read(p *des.Proc, off, n int64)
+	// Sync blocks until the file's data is on stable storage.
+	Sync(p *des.Proc)
+	// Close releases the handle, blocking for any close-time work the
+	// filesystem performs (none for the modelled native filesystems).
+	Close(p *des.Proc)
+	// Size returns the file's current logical size.
+	Size() int64
+	// Name returns the file's name.
+	Name() string
+}

@@ -1,0 +1,64 @@
+// Package simnet models network links in virtual time: a link has a
+// propagation latency and a serialization bandwidth shared FIFO among
+// transfers. The cluster model gives each node an InfiniBand HCA link and
+// the NFS path an IPoIB link, matching the paper's testbed (§V-A).
+package simnet
+
+import "crfs/internal/des"
+
+// Link is a point-to-point or host link with bandwidth shared one
+// transfer at a time (store-and-forward serialization) plus a fixed
+// per-message latency.
+type Link struct {
+	env *des.Env
+	// Bps is the serialization bandwidth in bytes/second.
+	Bps int64
+	// Latency is the per-message propagation + stack traversal delay.
+	Latency des.Duration
+	res     *des.Resource
+
+	bytes int64
+	msgs  int64
+}
+
+// NewLink returns a link attached to env.
+func NewLink(env *des.Env, bps int64, latency des.Duration) *Link {
+	return &Link{env: env, Bps: bps, Latency: latency, res: des.NewResource(env, 1)}
+}
+
+// Transfer blocks the caller while n bytes serialize onto the link and
+// propagate. Zero-byte messages still pay latency.
+func (l *Link) Transfer(p *des.Proc, n int64) {
+	l.res.Acquire(p, 1)
+	ser := des.Duration(float64(n) / float64(l.Bps) * float64(des.Second))
+	p.Wait(ser)
+	l.res.Release(1)
+	p.Wait(l.Latency)
+	l.bytes += n
+	l.msgs++
+}
+
+// BytesCarried returns the total payload transferred.
+func (l *Link) BytesCarried() int64 { return l.bytes }
+
+// Messages returns the number of transfers.
+func (l *Link) Messages() int64 { return l.msgs }
+
+// Presets matching the paper's testbed.
+const (
+	// IBDDRBps approximates Mellanox DDR InfiniBand effective payload
+	// bandwidth (~1.5 GB/s).
+	IBDDRBps = 1500 << 20
+	// IBLatency is the per-message InfiniBand latency including verbs
+	// stack traversal.
+	IBLatency = 8 * des.Microsecond
+	// IPoIBBps approximates IP-over-InfiniBand effective bandwidth
+	// (~400 MB/s in the DDR era).
+	IPoIBBps = 400 << 20
+	// IPoIBLatency is the per-message latency of the IPoIB stack.
+	IPoIBLatency = 35 * des.Microsecond
+	// GigEBps is 1 GigE payload bandwidth (~110 MB/s).
+	GigEBps = 110 << 20
+	// GigELatency is typical GigE + TCP latency.
+	GigELatency = 60 * des.Microsecond
+)

@@ -1,0 +1,60 @@
+package simnet
+
+import (
+	"testing"
+
+	"crfs/internal/des"
+)
+
+func TestTransferTime(t *testing.T) {
+	env := des.New()
+	l := NewLink(env, 100<<20, des.Millisecond) // 100 MB/s, 1 ms latency
+	var took des.Duration
+	env.Spawn("s", func(p *des.Proc) {
+		t0 := p.Now()
+		l.Transfer(p, 100<<20) // 1 second of serialization
+		took = p.Now() - t0
+	})
+	env.Run()
+	env.Shutdown()
+	want := des.Second + des.Millisecond
+	if took != want {
+		t.Fatalf("transfer took %d, want %d", took, want)
+	}
+	if l.BytesCarried() != 100<<20 || l.Messages() != 1 {
+		t.Errorf("counters: %d bytes, %d msgs", l.BytesCarried(), l.Messages())
+	}
+}
+
+func TestSerializationShared(t *testing.T) {
+	env := des.New()
+	l := NewLink(env, 100<<20, 0)
+	var done []des.Time
+	for i := 0; i < 2; i++ {
+		env.Spawn("s", func(p *des.Proc) {
+			l.Transfer(p, 100<<20)
+			done = append(done, p.Now())
+		})
+	}
+	env.Run()
+	env.Shutdown()
+	if len(done) != 2 || done[0] != des.Second || done[1] != 2*des.Second {
+		t.Fatalf("done = %v, want serialization [1s, 2s]", done)
+	}
+}
+
+func TestZeroBytePaysLatency(t *testing.T) {
+	env := des.New()
+	l := NewLink(env, 100<<20, 5*des.Microsecond)
+	var took des.Duration
+	env.Spawn("s", func(p *des.Proc) {
+		t0 := p.Now()
+		l.Transfer(p, 0)
+		took = p.Now() - t0
+	})
+	env.Run()
+	env.Shutdown()
+	if took != 5*des.Microsecond {
+		t.Fatalf("zero-byte transfer took %d", took)
+	}
+}

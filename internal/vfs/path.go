@@ -1,0 +1,56 @@
+package vfs
+
+import (
+	"path"
+	"strings"
+)
+
+// Clean canonicalizes a path for use as a filesystem key: it applies
+// path.Clean, strips any leading slash, and maps the root to ".".
+// Backends index their namespaces by cleaned paths so that "/a/b", "a/b"
+// and "a//b/." all address the same file.
+func Clean(name string) string {
+	name = path.Clean("/" + name)
+	if name == "/" {
+		return "."
+	}
+	return strings.TrimPrefix(name, "/")
+}
+
+// Split splits a cleaned path into parent directory and base name.
+// The parent of a top-level name is ".".
+func Split(name string) (dir, base string) {
+	name = Clean(name)
+	dir, base = path.Split(name)
+	dir = strings.TrimSuffix(dir, "/")
+	if dir == "" {
+		dir = "."
+	}
+	return dir, base
+}
+
+// Join joins path elements and cleans the result.
+func Join(elem ...string) string { return Clean(path.Join(elem...)) }
+
+// Ancestors returns every proper ancestor directory of a cleaned path,
+// outermost first, excluding the root ".". Ancestors("a/b/c") = ["a","a/b"].
+func Ancestors(name string) []string {
+	name = Clean(name)
+	if name == "." {
+		return nil
+	}
+	var out []string
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			out = append(out, name[:i])
+		}
+	}
+	return out
+}
+
+// ValidName reports whether name cleans to a non-root path that does not
+// escape the filesystem root.
+func ValidName(name string) bool {
+	c := Clean(name)
+	return c != "." && c != ".." && !strings.HasPrefix(c, "../")
+}

@@ -1,0 +1,57 @@
+// Package workload models the applications of the paper's evaluation: the
+// NAS Parallel Benchmark LU solver at classes B, C, and D (§V-C). Only
+// the checkpoint-relevant property matters — the per-process memory
+// footprint that BLCR must dump — so the model is the class's aggregate
+// working-set size, divided over the processes plus a fixed per-process
+// base (program text, libraries, stacks).
+package workload
+
+import "fmt"
+
+// Class is a NAS problem class.
+type Class string
+
+// NAS LU classes used in the paper.
+const (
+	ClassB Class = "B"
+	ClassC Class = "C"
+	ClassD Class = "D"
+)
+
+// luAppBytes is LU's aggregate solution-array footprint per class,
+// calibrated so that the per-process checkpoint image sizes reproduce
+// Table II (grid sizes 102^3, 162^3, 408^3 for B, C, D).
+var luAppBytes = map[Class]int64{
+	ClassB: 310 << 20,
+	ClassC: 1180 << 20,
+	ClassD: 13070 << 20,
+}
+
+// perProcBase is the footprint independent of the problem decomposition:
+// binary, libc and MPI library text, stacks, and BLCR bookkeeping.
+const perProcBase = 512 << 10
+
+// LUAppBytes returns LU's aggregate application footprint for a class.
+func LUAppBytes(c Class) (int64, error) {
+	b, ok := luAppBytes[c]
+	if !ok {
+		return 0, fmt.Errorf("workload: unknown class %q", c)
+	}
+	return b, nil
+}
+
+// LUProcBytes returns one process's application footprint when the class
+// is decomposed over nprocs processes.
+func LUProcBytes(c Class, nprocs int) (int64, error) {
+	total, err := LUAppBytes(c)
+	if err != nil {
+		return 0, err
+	}
+	if nprocs <= 0 {
+		return 0, fmt.Errorf("workload: invalid process count %d", nprocs)
+	}
+	return total/int64(nprocs) + perProcBase, nil
+}
+
+// Classes lists the evaluated classes in order.
+func Classes() []Class { return []Class{ClassB, ClassC, ClassD} }

@@ -1,0 +1,50 @@
+package workload
+
+import "testing"
+
+func TestClassScaling(t *testing.T) {
+	b, _ := LUAppBytes(ClassB)
+	c, _ := LUAppBytes(ClassC)
+	d, _ := LUAppBytes(ClassD)
+	if !(b < c && c < d) {
+		t.Fatalf("class sizes not monotone: %d %d %d", b, c, d)
+	}
+	// LU grid ratios: C/B = (162/102)^3 ~ 4.0.
+	if r := float64(c) / float64(b); r < 3 || r > 5 {
+		t.Errorf("C/B ratio = %.1f, want ~4", r)
+	}
+}
+
+func TestProcBytesDecomposition(t *testing.T) {
+	p128, err := LUProcBytes(ClassC, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p16, err := LUProcBytes(ClassC, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p16 <= p128 {
+		t.Errorf("fewer procs should mean bigger per-proc image: %d vs %d", p16, p128)
+	}
+	total, _ := LUAppBytes(ClassC)
+	if approx := p128 * 128; approx < total {
+		t.Errorf("decomposition lost bytes: %d < %d", approx, total)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := LUAppBytes(Class("Z")); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := LUProcBytes(ClassB, 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+}
+
+func TestClassesList(t *testing.T) {
+	cs := Classes()
+	if len(cs) != 3 || cs[0] != ClassB || cs[2] != ClassD {
+		t.Errorf("Classes() = %v", cs)
+	}
+}
