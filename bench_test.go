@@ -11,6 +11,7 @@ package crfs_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	crfs "crfs"
@@ -79,6 +80,61 @@ func BenchmarkRealAggregation(b *testing.B) {
 		off += int64(len(buf))
 	}
 }
+
+// benchCodecWrite measures the full write path — aggregation, parallel
+// frame encoding on the IO workers, backend write — for one codec and
+// payload shape, reporting the achieved compression ratio as a metric.
+func benchCodecWrite(b *testing.B, codecName string, compressible bool) {
+	b.Helper()
+	cdc, err := crfs.LookupCodec(codecName)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	if compressible {
+		copy(buf, "checkpoint page table entry ")
+		for n := len("checkpoint page table entry "); n < len(buf); n *= 2 {
+			copy(buf[n:], buf[:n])
+		}
+	} else {
+		rand.New(rand.NewSource(1)).Read(buf)
+	}
+	fs, err := crfs.Mount(crfs.MemBackend(), crfs.Options{Codec: cdc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Unmount()
+	f, err := fs.Open("bench.img", crfs.WriteOnly|crfs.Create)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var off int64
+	for i := 0; i < b.N; i++ {
+		if _, err := f.WriteAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+		off += int64(len(buf))
+	}
+	if err := f.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if r := fs.Stats().CompressionRatio(); r > 0 {
+		b.ReportMetric(r, "compression_ratio")
+	}
+}
+
+// Raw-vs-deflate codec benchmarks on compressible and incompressible
+// checkpoint payloads: the codec subsystem's cost/benefit on the write
+// path, the new IO-volume axis next to the paper's aggregation ratio.
+func BenchmarkCodecRawCompressible(b *testing.B)       { benchCodecWrite(b, "raw", true) }
+func BenchmarkCodecRawIncompressible(b *testing.B)     { benchCodecWrite(b, "raw", false) }
+func BenchmarkCodecDeflateCompressible(b *testing.B)   { benchCodecWrite(b, "deflate", true) }
+func BenchmarkCodecDeflateIncompressible(b *testing.B) { benchCodecWrite(b, "deflate", false) }
 
 // BenchmarkRealConcurrentWriters measures 8 concurrent checkpoint writers
 // through one mount, the paper's node-level scenario.

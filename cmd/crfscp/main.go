@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	crfscp [-chunk 4194304] [-pool 16777216] [-threads 4] [-bs 8192] SRC... DSTDIR
+//	crfscp [-chunk 4194304] [-pool 16777216] [-threads 4] [-bs 8192] [-codec raw|deflate] SRC... DSTDIR
+//
+// With -codec deflate the destination files are CRFS frame containers:
+// chunks are compressed in parallel on the IO workers, cutting the bytes
+// written to the destination filesystem. Read them back through a CRFS
+// mount (any codec setting), which decodes containers transparently.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	crfs "crfs"
@@ -23,6 +29,7 @@ func main() {
 	pool := flag.Int64("pool", crfs.DefaultBufferPoolSize, "CRFS buffer pool size in bytes")
 	threads := flag.Int("threads", crfs.DefaultIOThreads, "CRFS IO threads")
 	bs := flag.Int("bs", 8192, "copy block size (simulates small checkpoint writes)")
+	codecName := flag.String("codec", "raw", "chunk codec: "+strings.Join(crfs.CodecNames(), "|"))
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
@@ -34,8 +41,12 @@ func main() {
 	if err := os.MkdirAll(dst, 0o755); err != nil {
 		fatal(err)
 	}
+	cdc, err := crfs.LookupCodec(*codecName)
+	if err != nil {
+		fatal(err)
+	}
 	fs, err := crfs.MountDir(dst, crfs.Options{
-		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads,
+		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads, Codec: cdc,
 	})
 	if err != nil {
 		fatal(err)
@@ -58,6 +69,9 @@ func main() {
 	fmt.Printf("copied %d bytes in %.3fs (%.1f MB/s)\n", total, el, float64(total)/el/(1<<20))
 	fmt.Printf("app writes: %d, backend writes: %d (aggregation %.1fx), pool waits: %d\n",
 		st.Writes, st.BackendWrites, st.AggregationRatio(), st.PoolWaits)
+	if cs := st.Codec(); cs.Frames > 0 {
+		fmt.Println(cs.Format())
+	}
 }
 
 func copyOne(fs *crfs.FS, src string, bs int) (int64, error) {

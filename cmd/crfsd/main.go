@@ -32,10 +32,15 @@ func main() {
 	chunk := flag.Int64("chunk", crfs.DefaultChunkSize, "chunk size")
 	pool := flag.Int64("pool", crfs.DefaultBufferPoolSize, "buffer pool size")
 	threads := flag.Int("threads", crfs.DefaultIOThreads, "IO threads")
+	codecName := flag.String("codec", "raw", "chunk codec: "+strings.Join(crfs.CodecNames(), "|"))
 	flag.Parse()
 
+	cdc, err := crfs.LookupCodec(*codecName)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fs, err := crfs.MountDir(*dir, crfs.Options{
-		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads,
+		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads, Codec: cdc,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -44,8 +49,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d)",
-		*dir, ln.Addr(), *chunk, *pool, *threads)
+	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s)",
+		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name())
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -95,8 +100,9 @@ func serve(fs *crfs.FS, conn net.Conn) {
 		}
 	case "STAT":
 		st := fs.Stats()
-		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d\n",
-			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits)
+		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f\n",
+			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits,
+			st.CodecBytesIn, st.CodecBytesOut, st.CompressionRatio())
 	default:
 		fmt.Fprintf(conn, "ERR unknown verb %q\n", fields[0])
 	}

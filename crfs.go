@@ -12,6 +12,14 @@
 // CRFS can be read directly from the backend afterwards — no layout is
 // changed.
 //
+// Optionally, a chunk codec (Options.Codec) compresses each chunk on the
+// IO workers before the backend write, trading CPU on the otherwise
+// IO-bound checkpoint path for backend IO volume. With a non-raw codec
+// each file becomes a self-describing container of independently encoded
+// frames; reads through any CRFS mount decode such containers
+// transparently, and incompressible chunks fall back to raw frames. The
+// default raw codec keeps the seed passthrough behavior byte-identical.
+//
 // Quick start:
 //
 //	backend, _ := crfs.DirBackend("/mnt/scratch")
@@ -29,6 +37,7 @@
 package crfs
 
 import (
+	"crfs/internal/codec"
 	"crfs/internal/core"
 	"crfs/internal/memfs"
 	"crfs/internal/osfs"
@@ -44,6 +53,8 @@ type (
 	Options = core.Options
 	// Stats is a snapshot of mount activity counters.
 	Stats = core.Stats
+	// Codec encodes and decodes aggregation chunks (Options.Codec).
+	Codec = codec.Codec
 	// Filesystem is the interface CRFS stacks over and exposes upward.
 	Filesystem = vfs.FS
 	// File is an open file handle.
@@ -72,6 +83,20 @@ const (
 	DefaultChunkSize      = core.DefaultChunkSize
 	DefaultIOThreads      = core.DefaultIOThreads
 )
+
+// RawCodec returns the passthrough chunk codec (the default): backend
+// output is byte-identical to a codec-less mount.
+func RawCodec() Codec { return codec.Raw() }
+
+// DeflateCodec returns the DEFLATE chunk codec: files become frame
+// containers whose chunks are compressed in parallel on the IO workers.
+func DeflateCodec() Codec { return codec.Deflate() }
+
+// LookupCodec resolves a chunk codec by name ("raw", "deflate").
+func LookupCodec(name string) (Codec, error) { return codec.Lookup(name) }
+
+// CodecNames lists the registered chunk codec names.
+func CodecNames() []string { return codec.Names() }
 
 // Common sentinel errors.
 var (

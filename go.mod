@@ -1,0 +1,3 @@
+module crfs
+
+go 1.22

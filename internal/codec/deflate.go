@@ -1,0 +1,94 @@
+package codec
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// deflateCodec compresses chunks with stdlib DEFLATE. Encoder and decoder
+// state is pooled: flate allocates ~64 KB of window per writer, far too
+// much to rebuild for every 4 MB chunk crossing the IO workers.
+type deflateCodec struct {
+	writers sync.Pool // *flate.Writer
+	readers sync.Pool // io.ReadCloser with flate.Resetter
+}
+
+func newDeflate() *deflateCodec { return &deflateCodec{} }
+
+// Deflate returns the DEFLATE codec.
+func Deflate() Codec { return mustByID(DeflateID) }
+
+func mustByID(id ID) Codec {
+	c, err := ByID(id)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (*deflateCodec) ID() ID       { return DeflateID }
+func (*deflateCodec) Name() string { return "deflate" }
+
+// sliceWriter appends to a byte slice through the io.Writer interface,
+// letting pooled flate writers emit straight into the caller's buffer.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (c *deflateCodec) Encode(dst, src []byte) ([]byte, error) {
+	sw := &sliceWriter{b: dst}
+	var fw *flate.Writer
+	if v := c.writers.Get(); v != nil {
+		fw = v.(*flate.Writer)
+		fw.Reset(sw)
+	} else {
+		var err error
+		fw, err = flate.NewWriter(sw, flate.DefaultCompression)
+		if err != nil {
+			return dst, fmt.Errorf("codec: deflate init: %w", err)
+		}
+	}
+	defer c.writers.Put(fw)
+	if _, err := fw.Write(src); err != nil {
+		return dst, fmt.Errorf("codec: deflate encode: %w", err)
+	}
+	if err := fw.Close(); err != nil {
+		return dst, fmt.Errorf("codec: deflate flush: %w", err)
+	}
+	return sw.b, nil
+}
+
+func (c *deflateCodec) Decode(dst, src []byte, rawLen int64) ([]byte, error) {
+	br := bytes.NewReader(src)
+	var fr io.ReadCloser
+	if v := c.readers.Get(); v != nil {
+		fr = v.(io.ReadCloser)
+		if err := fr.(flate.Resetter).Reset(br, nil); err != nil {
+			return dst, fmt.Errorf("codec: deflate reset: %w", err)
+		}
+	} else {
+		fr = flate.NewReader(br)
+	}
+	defer c.readers.Put(fr)
+	sw := &sliceWriter{b: dst}
+	// Read at most one byte past the declared size: a stream that keeps
+	// going is corrupt, and bounding it here stops a damaged frame from
+	// ballooning memory (deflate expands up to ~1032x).
+	n, err := io.Copy(sw, io.LimitReader(fr, rawLen+1))
+	if err != nil {
+		return dst, fmt.Errorf("codec: deflate decode: %w", err)
+	}
+	if n > rawLen {
+		return dst, fmt.Errorf("%w: deflate stream exceeds declared size %d", ErrCorrupt, rawLen)
+	}
+	if err := fr.Close(); err != nil {
+		return dst, fmt.Errorf("codec: deflate close: %w", err)
+	}
+	return sw.b, nil
+}

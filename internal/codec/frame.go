@@ -1,0 +1,162 @@
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// A file written through a mount with a non-raw codec is a container: a
+// sequence of frames, each one flushed aggregation chunk encoded
+// independently (so IO workers compress and decompress in parallel) and
+// prefixed by a fixed self-describing header.
+//
+// Frame header layout (little-endian, 32 bytes):
+//
+//	offset  size  field
+//	0       4     magic "CRFC"
+//	4       1     format version (1)
+//	5       1     codec ID of the payload
+//	6       2     reserved, zero
+//	8       8     frame sequence number
+//	16      8     logical file offset of the raw extent
+//	24      4     raw (decoded) payload length
+//	28      4     encoded payload length
+//
+// Frames are appended in completion order, which concurrency can permute;
+// the sequence number, assigned in flush order, restores write order at
+// decode time so overlapping extents resolve to last-writer-wins.
+
+// Frame container constants.
+const (
+	// HeaderSize is the size of the fixed frame header in bytes.
+	HeaderSize = 32
+	// Version is the frame format version written and accepted.
+	Version = 1
+	// MaxPayload is the largest raw payload one frame can carry.
+	MaxPayload = math.MaxUint32
+	// MaxLogicalOff bounds a frame's logical offset (64 PiB) — far past
+	// any real checkpoint, so a corrupt or crafted header fails parsing
+	// (and takes the caller's demote path) instead of yielding absurd
+	// logical sizes that callers might allocate for. It also keeps
+	// Off+RawLen safely inside int64.
+	MaxLogicalOff = 1 << 56
+)
+
+// Magic identifies a CRFS frame container ("CRFS Chunk").
+var Magic = [4]byte{'C', 'R', 'F', 'C'}
+
+// Frame container errors.
+var (
+	// ErrNotFramed reports data that does not begin with a frame header.
+	ErrNotFramed = errors.New("codec: not a CRFS frame container")
+	// ErrCorrupt reports a malformed or inconsistent frame.
+	ErrCorrupt = errors.New("codec: corrupt frame")
+)
+
+// Header is the decoded form of a frame header.
+type Header struct {
+	Codec  ID     // codec of the payload (RawID after incompressible bailout)
+	Seq    uint64 // flush-order sequence number within the file
+	Off    int64  // logical file offset of the raw extent
+	RawLen uint32 // decoded payload length
+	EncLen uint32 // encoded payload length as stored
+}
+
+// PutHeader serializes h into b, which must be at least HeaderSize long.
+func PutHeader(b []byte, h Header) {
+	_ = b[HeaderSize-1]
+	copy(b[0:4], Magic[:])
+	b[4] = Version
+	b[5] = byte(h.Codec)
+	b[6], b[7] = 0, 0
+	binary.LittleEndian.PutUint64(b[8:16], h.Seq)
+	binary.LittleEndian.PutUint64(b[16:24], uint64(h.Off))
+	binary.LittleEndian.PutUint32(b[24:28], h.RawLen)
+	binary.LittleEndian.PutUint32(b[28:32], h.EncLen)
+}
+
+// ParseHeader decodes and validates a frame header.
+func ParseHeader(b []byte) (Header, error) {
+	if len(b) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: short header (%d bytes)", ErrNotFramed, len(b))
+	}
+	if !Sniff(b) {
+		return Header{}, ErrNotFramed
+	}
+	if b[4] != Version {
+		return Header{}, fmt.Errorf("%w: unsupported frame version %d", ErrCorrupt, b[4])
+	}
+	h := Header{
+		Codec:  ID(b[5]),
+		Seq:    binary.LittleEndian.Uint64(b[8:16]),
+		Off:    int64(binary.LittleEndian.Uint64(b[16:24])),
+		RawLen: binary.LittleEndian.Uint32(b[24:28]),
+		EncLen: binary.LittleEndian.Uint32(b[28:32]),
+	}
+	if h.Off < 0 || h.Off > MaxLogicalOff {
+		return Header{}, fmt.Errorf("%w: implausible logical offset %d", ErrCorrupt, h.Off)
+	}
+	return h, nil
+}
+
+// Sniff reports whether b begins with the frame container magic.
+func Sniff(b []byte) bool {
+	return len(b) >= len(Magic) && [4]byte(b[:4]) == Magic
+}
+
+// EncodeFrame encodes src as one frame — header plus payload — appended
+// to dst, and returns the extended slice with the header describing it.
+// When c does not shrink the payload (incompressible data), the frame is
+// stored raw instead, so a frame's encoded length never exceeds its raw
+// length: compression can only save backend IO, never amplify it beyond
+// the fixed header.
+func EncodeFrame(c Codec, seq uint64, off int64, src, dst []byte) ([]byte, Header, error) {
+	if int64(len(src)) > MaxPayload {
+		return dst, Header{}, fmt.Errorf("codec: frame payload %d exceeds %d bytes", len(src), int64(MaxPayload))
+	}
+	if off < 0 || off > MaxLogicalOff {
+		return dst, Header{}, fmt.Errorf("codec: frame offset %d out of range [0, %d]", off, int64(MaxLogicalOff))
+	}
+	h := Header{Codec: c.ID(), Seq: seq, Off: off, RawLen: uint32(len(src))}
+	base := len(dst)
+	dst = append(dst, make([]byte, HeaderSize)...)
+	if c.ID() != RawID {
+		enc, err := c.Encode(dst, src)
+		if err != nil {
+			return dst[:base], Header{}, err
+		}
+		dst = enc
+	}
+	if c.ID() == RawID || len(dst)-base-HeaderSize >= len(src) {
+		// Incompressible bailout: store verbatim under the raw codec ID.
+		dst = append(dst[:base+HeaderSize], src...)
+		h.Codec = RawID
+	}
+	h.EncLen = uint32(len(dst) - base - HeaderSize)
+	PutHeader(dst[base:base+HeaderSize], h)
+	return dst, h, nil
+}
+
+// DecodeFrame decodes one frame payload described by h, appending the raw
+// bytes to dst. The codec named by the header is resolved from the
+// registry, so any mount can read any registered codec's frames.
+func DecodeFrame(h Header, payload, dst []byte) ([]byte, error) {
+	if len(payload) != int(h.EncLen) {
+		return dst, fmt.Errorf("%w: payload length %d, header says %d", ErrCorrupt, len(payload), h.EncLen)
+	}
+	c, err := ByID(h.Codec)
+	if err != nil {
+		return dst, err
+	}
+	base := len(dst)
+	out, err := c.Decode(dst, payload, int64(h.RawLen))
+	if err != nil {
+		return dst, err
+	}
+	if len(out)-base != int(h.RawLen) {
+		return dst, fmt.Errorf("%w: decoded %d bytes, header says %d", ErrCorrupt, len(out)-base, h.RawLen)
+	}
+	return out, nil
+}

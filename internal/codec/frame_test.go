@@ -1,0 +1,173 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"testing"
+)
+
+// TestHeaderGoldenBytes pins the on-disk frame header layout. If this
+// test breaks, existing containers become unreadable: bump Version and
+// add migration instead of editing the expectation.
+func TestHeaderGoldenBytes(t *testing.T) {
+	h := Header{
+		Codec:  DeflateID, // 0x01
+		Seq:    0x0123456789abcdef,
+		Off:    0x0007060504030201, // within MaxLogicalOff
+		RawLen: 0xaabbccdd,
+		EncLen: 0x11223344,
+	}
+	b := make([]byte, HeaderSize)
+	PutHeader(b, h)
+	want := "" +
+		"43524643" + // magic "CRFC"
+		"01" + // version 1
+		"01" + // codec id: deflate
+		"0000" + // reserved
+		"efcdab8967452301" + // seq, little-endian
+		"0102030405060700" + // logical offset, little-endian
+		"ddccbbaa" + // raw length, little-endian
+		"44332211" // encoded length, little-endian
+	if got := hex.EncodeToString(b); got != want {
+		t.Fatalf("header layout changed:\n got %s\nwant %s", got, want)
+	}
+	back, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("ParseHeader(PutHeader(h)) = %+v, want %+v", back, h)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	b := make([]byte, HeaderSize)
+	PutHeader(b, Header{Codec: RawID})
+	short := b[:HeaderSize-1]
+	if _, err := ParseHeader(short); !errors.Is(err, ErrNotFramed) {
+		t.Errorf("short header: %v, want ErrNotFramed", err)
+	}
+	bad := bytes.Clone(b)
+	bad[0] = 'X'
+	if _, err := ParseHeader(bad); !errors.Is(err, ErrNotFramed) {
+		t.Errorf("bad magic: %v, want ErrNotFramed", err)
+	}
+	if Sniff(bad) {
+		t.Error("Sniff accepted bad magic")
+	}
+	ver := bytes.Clone(b)
+	ver[4] = 99
+	if _, err := ParseHeader(ver); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("future version: %v, want ErrCorrupt", err)
+	}
+	huge := make([]byte, HeaderSize)
+	PutHeader(huge, Header{Codec: RawID, Off: 1 << 62})
+	if _, err := ParseHeader(huge); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("implausible offset: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestEncodeFrameRoundTrip round-trips whole frames for both codecs and
+// both data shapes.
+func TestEncodeFrameRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := Lookup(name)
+		for shape, src := range map[string][]byte{
+			"compressible":   compressible(300<<10, 3),
+			"incompressible": incompressible(300<<10, 4),
+			"empty":          {},
+		} {
+			frame, h, err := EncodeFrame(c, 7, 12345, src, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, shape, err)
+			}
+			if h.Seq != 7 || h.Off != 12345 || int(h.RawLen) != len(src) {
+				t.Fatalf("%s/%s: header %+v", name, shape, h)
+			}
+			if len(frame) != HeaderSize+int(h.EncLen) {
+				t.Fatalf("%s/%s: frame length %d, header says %d", name, shape, len(frame), HeaderSize+int(h.EncLen))
+			}
+			parsed, err := ParseHeader(frame)
+			if err != nil || parsed != h {
+				t.Fatalf("%s/%s: reparse %+v, %v", name, shape, parsed, err)
+			}
+			dec, err := DecodeFrame(h, frame[HeaderSize:], nil)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", name, shape, err)
+			}
+			if !bytes.Equal(dec, src) {
+				t.Fatalf("%s/%s: frame round trip differs", name, shape)
+			}
+		}
+	}
+}
+
+// TestEncodeFrameIncompressibleBailout checks the raw fallback: random
+// data must be stored verbatim under RawID, so a frame never costs more
+// than the payload plus the fixed header.
+func TestEncodeFrameIncompressibleBailout(t *testing.T) {
+	src := incompressible(256<<10, 9)
+	frame, h, err := EncodeFrame(Deflate(), 0, 0, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Codec != RawID {
+		t.Fatalf("incompressible frame stored with codec %d, want raw bailout", h.Codec)
+	}
+	if int(h.EncLen) != len(src) || !bytes.Equal(frame[HeaderSize:], src) {
+		t.Fatal("raw bailout did not store payload verbatim")
+	}
+	comp := compressible(256<<10, 9)
+	_, h2, err := EncodeFrame(Deflate(), 0, 0, comp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Codec != DeflateID || int(h2.EncLen) >= len(comp) {
+		t.Fatalf("compressible frame: codec=%d enc=%d raw=%d", h2.Codec, h2.EncLen, len(comp))
+	}
+}
+
+func TestDecodeFrameRejectsCorrupt(t *testing.T) {
+	src := compressible(8<<10, 1)
+	frame, h, err := EncodeFrame(Deflate(), 0, 0, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeFrame(h, frame[HeaderSize:len(frame)-1], nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated payload: %v, want ErrCorrupt", err)
+	}
+	bad := h
+	bad.RawLen++
+	if _, err := DecodeFrame(bad, frame[HeaderSize:], nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("raw length mismatch: %v, want ErrCorrupt", err)
+	}
+	unknown := h
+	unknown.Codec = 200
+	if _, err := DecodeFrame(unknown, frame[HeaderSize:], nil); err == nil {
+		t.Error("unknown codec id decoded")
+	}
+}
+
+// TestDecodeBoundedByRawLen: a frame whose header understates the
+// decoded size must fail fast instead of inflating the whole (possibly
+// enormous) stream into memory first.
+func TestDecodeBoundedByRawLen(t *testing.T) {
+	// 1 MB of zeros deflates to ~1 KB; lie that it decodes to 64 bytes.
+	src := make([]byte, 1<<20)
+	enc, err := Deflate().Encode(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lying := Header{Codec: DeflateID, RawLen: 64, EncLen: uint32(len(enc))}
+	out, err := DecodeFrame(lying, enc, nil)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("understated RawLen: %v, want ErrCorrupt", err)
+	}
+	if len(out) > 65 {
+		t.Fatalf("decode buffered %d bytes despite 64-byte bound", len(out))
+	}
+	if _, err := Raw().Decode(nil, make([]byte, 100), 64); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("raw oversize payload: %v, want ErrCorrupt", err)
+	}
+}

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"fmt"
+	"io"
+	"sort"
 	"sync"
 
 	"crfs/internal/chunker"
+	"crfs/internal/codec"
+	"crfs/internal/vfs"
 )
 
 // fileEntry is one row of CRFS's open-file hash table (§IV-A). All open
@@ -32,6 +37,36 @@ type fileEntry struct {
 	doneChunks  int64  // chunks completed by IO threads ("complete chunk count")
 	logicalSize int64  // max written end; backend size may lag while buffered
 	firstErr    error  // first backend write error, surfaced at close/fsync/write
+
+	// Frame-container state (framed entries only, guarded by mu). A
+	// framed entry's backend file is a sequence of codec frames rather
+	// than the logical bytes; frames index the container, appendOff is
+	// where the next frame lands, and frameSeq numbers flushes so decode
+	// can replay overlapping extents in write order.
+	framed    bool
+	frames    []frameLoc // sorted by (logical offset, seq)
+	maxRawLen int64      // largest raw extent; bounds the read search window
+	appendOff int64
+	frameSeq  uint64
+
+	// decMu guards the one-frame decode cache, which makes sequential
+	// small reads of a container cheap. Cached buffers are immutable
+	// once published, so readers use them after dropping the lock and
+	// concurrent reads of different frames decode in parallel. decGen
+	// bumps on container reset so an in-flight decode can't republish a
+	// pre-reset frame into the cache.
+	decMu   sync.Mutex
+	decPos  int64
+	decBuf  []byte
+	decHave bool
+	decGen  uint64
+}
+
+// frameLoc locates one frame inside a container: its parsed header plus
+// the backend offset of the header's first byte.
+type frameLoc struct {
+	hdr codec.Header
+	pos int64
 }
 
 // backendHandle is the part of vfs.File the workers and entry use.
@@ -101,12 +136,16 @@ func (e *fileEntry) write(p []byte, off int64) (int, error) {
 }
 
 // enqueueActive hands the active chunk to the work queue and bumps the
-// outstanding counter.
+// outstanding counter. The frame sequence number is assigned here, in
+// flush order, so that decode can restore write order even though
+// concurrent IO workers append frames to the container out of order.
 func (e *fileEntry) enqueueActive() {
 	c := e.active
 	e.mu.Lock()
 	e.active = nil
 	e.writeChunks++
+	c.seq = e.frameSeq
+	e.frameSeq++
 	e.mu.Unlock()
 	e.fs.stats.chunksFlushed.Add(1)
 	e.fs.enqueue(c)
@@ -160,9 +199,291 @@ func (e *fileEntry) complete(err error) {
 	e.cond.Broadcast()
 }
 
-// size returns the logical size, accounting for buffered data.
-func (e *fileEntry) size() int64 {
+// scanFrames walks a frame container of the given backend size and
+// returns its index, logical size, and next sequence number. The scan
+// reads only the 32-byte headers, seeking over payloads, so indexing a
+// multi-gigabyte checkpoint costs one small read per chunk.
+func scanFrames(f backendHandle, size int64) (frames []frameLoc, logical int64, nextSeq uint64, err error) {
+	hdr := make([]byte, codec.HeaderSize)
+	for off := int64(0); off < size; {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			return nil, 0, 0, fmt.Errorf("core: frame header at %d: %w", off, err)
+		}
+		h, err := codec.ParseHeader(hdr)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("core: frame at %d: %w", off, err)
+		}
+		next := off + codec.HeaderSize + int64(h.EncLen)
+		if next > size {
+			return nil, 0, 0, fmt.Errorf("core: frame at %d overruns container (%d > %d): %w",
+				off, next, size, codec.ErrCorrupt)
+		}
+		frames = append(frames, frameLoc{hdr: h, pos: off})
+		if end := h.Off + int64(h.RawLen); end > logical {
+			logical = end
+		}
+		if h.Seq >= nextSeq {
+			nextSeq = h.Seq + 1
+		}
+		off = next
+	}
+	return frames, logical, nextSeq, nil
+}
+
+// addFrameLocked records a completed frame, keeping the index sorted by
+// (logical offset, seq) so reads can binary-search it. Sequential
+// checkpoint streams append at the end; only overwrites pay a shift.
+// Caller holds mu.
+func (e *fileEntry) addFrameLocked(fr frameLoc) {
+	if n := int64(fr.hdr.RawLen); n > e.maxRawLen {
+		e.maxRawLen = n
+	}
+	i := sort.Search(len(e.frames), func(i int) bool {
+		a := e.frames[i].hdr
+		return a.Off > fr.hdr.Off || (a.Off == fr.hdr.Off && a.Seq > fr.hdr.Seq)
+	})
+	e.frames = append(e.frames, frameLoc{})
+	copy(e.frames[i+1:], e.frames[i:])
+	e.frames[i] = fr
+}
+
+// setFrames installs a scanned container index on a fresh entry (not yet
+// shared, so no lock needed).
+func (e *fileEntry) setFrames(frames []frameLoc) {
+	sort.Slice(frames, func(i, j int) bool {
+		a, b := frames[i].hdr, frames[j].hdr
+		return a.Off < b.Off || (a.Off == b.Off && a.Seq < b.Seq)
+	})
+	e.frames = frames
+	for _, fr := range frames {
+		if n := int64(fr.hdr.RawLen); n > e.maxRawLen {
+			e.maxRawLen = n
+		}
+	}
+}
+
+// overlapFrames returns the frames intersecting [off, end) in sequence
+// order. The index is sorted by offset and no raw extent exceeds
+// maxRawLen, so a frame overlapping the range must start after
+// off-maxRawLen: binary search there and scan forward to end.
+func (e *fileEntry) overlapFrames(off, end int64) []frameLoc {
+	overlap := make([]frameLoc, 0, 4)
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.logicalSize
+	lo := sort.Search(len(e.frames), func(i int) bool {
+		return e.frames[i].hdr.Off > off-e.maxRawLen
+	})
+	for i := lo; i < len(e.frames) && e.frames[i].hdr.Off < end; i++ {
+		fr := e.frames[i]
+		// RawLen == 0 skips pad frames (stamped over failed writes).
+		if fr.hdr.RawLen > 0 && fr.hdr.Off+int64(fr.hdr.RawLen) > off {
+			overlap = append(overlap, fr)
+		}
+	}
+	e.mu.Unlock()
+	sort.Slice(overlap, func(i, j int) bool { return overlap[i].hdr.Seq < overlap[j].hdr.Seq })
+	return overlap
+}
+
+// readFramed serves a positional read from a drained frame container:
+// zero-fill (holes read as zeros, like sparse files), then overlay every
+// overlapping frame's decoded bytes in sequence order so later writes
+// shadow earlier ones.
+func (e *fileEntry) readFramed(p []byte, off int64) (int, error) {
+	e.mu.Lock()
+	size := e.logicalSize
+	e.mu.Unlock()
+	if off >= size {
+		return 0, io.EOF
+	}
+	short := false
+	if off+int64(len(p)) > size {
+		p = p[:size-off]
+		short = true
+	}
+	overlap := e.overlapFrames(off, off+int64(len(p)))
+	if !(len(overlap) == 1 && overlap[0].hdr.Off <= off &&
+		overlap[0].hdr.Off+int64(overlap[0].hdr.RawLen) >= off+int64(len(p))) {
+		// Only zero-fill when one frame doesn't cover the whole range —
+		// the common sequential chunk read skips the memset entirely.
+		clear(p)
+	}
+	for _, fr := range overlap {
+		raw, err := e.decodeFrame(fr)
+		if err != nil {
+			return 0, err
+		}
+		lo := max(fr.hdr.Off, off)
+		hi := min(fr.hdr.Off+int64(fr.hdr.RawLen), off+int64(len(p)))
+		copy(p[lo-off:hi-off], raw[lo-fr.hdr.Off:hi-fr.hdr.Off])
+	}
+	if short {
+		return len(p), io.EOF
+	}
+	return len(p), nil
+}
+
+// decodeFrame returns a frame's raw bytes, serving from the one-frame
+// cache when a previous read hit the same frame. Misses decode into a
+// fresh buffer outside any lock (concurrent readers of different frames
+// don't serialize behind one inflater) and publish it to the cache;
+// published buffers are never mutated, so the slice stays valid after
+// the lock drops.
+func (e *fileEntry) decodeFrame(fr frameLoc) ([]byte, error) {
+	e.decMu.Lock()
+	if e.decHave && e.decPos == fr.pos {
+		raw := e.decBuf
+		e.decMu.Unlock()
+		return raw, nil
+	}
+	gen := e.decGen
+	e.decMu.Unlock()
+	enc := make([]byte, fr.hdr.EncLen)
+	if _, err := e.backendFile.ReadAt(enc, fr.pos+codec.HeaderSize); err != nil {
+		return nil, fmt.Errorf("core: frame payload at %d: %w", fr.pos, err)
+	}
+	raw, err := codec.DecodeFrame(fr.hdr, enc, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", e.name, err)
+	}
+	e.decMu.Lock()
+	if e.decGen == gen {
+		// Don't poison the cache if the container was reset while we
+		// decoded: positions restart from zero after a truncate, so pos
+		// alone would alias old and new frames.
+		e.decBuf, e.decPos, e.decHave = raw, fr.pos, true
+	}
+	e.decMu.Unlock()
+	return raw, nil
+}
+
+// truncate resizes a drained entry. Raw entries pass through. A frame
+// container supports only reset to zero (the checkpoint rewrite case) and
+// the no-op truncate to the current size: cutting a compressed log to an
+// arbitrary logical length would require rewriting frames, which no
+// checkpoint workload needs.
+func (e *fileEntry) truncate(size int64) error {
+	e.mu.Lock()
+	framed, logical := e.framed, e.logicalSize
+	e.mu.Unlock()
+	if framed {
+		switch act, err := containerTruncateAction(e.name, size, logical); {
+		case err != nil:
+			return err
+		case act == truncNoop:
+			return nil
+		case act == truncReset:
+			return e.resetContainer()
+		default:
+			// Extension (ftruncate-then-write preallocation): persist the
+			// new logical size as a zero-extent marker frame, so it
+			// survives remount; the extended range reads as zeros like
+			// any container hole.
+			return e.extendContainer(size)
+		}
+	}
+	if size == 0 && e.fs.opts.framedWrites() {
+		// Resetting a plain file under a codec mount starts a fresh
+		// container: there is no plain middle left to protect, so the
+		// rewrite gets compressed exactly like a Trunc open would.
+		return e.resetContainer()
+	}
+	if err := e.backendFile.Truncate(size); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.logicalSize = size
+	e.mu.Unlock()
+	return nil
+}
+
+// resetContainer truncates the backend to zero and resets the entry's
+// container state. Concurrent writers are excluded via writeMu: without
+// it, a racing write could reserve the stale append offset and land a
+// frame past the truncation point, leaving a hole at offset 0 that
+// silently declassifies the file as plain on the next open.
+func (e *fileEntry) resetContainer() error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.flushTailLocked()
+	if err := e.waitDrained(); err != nil {
+		return err
+	}
+	if err := e.backendFile.Truncate(0); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	// Classification follows the mount: a raw mount resetting a
+	// container demotes it to plain (matching what a Trunc open
+	// produces), a codec mount starts a fresh container.
+	e.framed = e.fs.opts.framedWrites()
+	e.frames = nil
+	e.maxRawLen = 0
+	e.appendOff = 0
+	e.logicalSize = 0
+	e.mu.Unlock()
+	e.decMu.Lock()
+	e.decHave = false
+	e.decGen++
+	e.decMu.Unlock()
+	return nil
+}
+
+// truncAction classifies a truncate of a frame container.
+type truncAction int
+
+const (
+	truncNoop   truncAction = iota // size equals the logical size
+	truncReset                     // size zero: reset the container
+	truncExtend                    // grow: persist via a marker frame
+)
+
+// containerTruncateAction is the single decision point for the container
+// truncate contract, shared by open entries and the closed-file path so
+// the rules cannot drift.
+func containerTruncateAction(name string, size, logical int64) (truncAction, error) {
+	switch {
+	case size == logical:
+		return truncNoop, nil
+	case size == 0:
+		return truncReset, nil
+	case size > logical:
+		return truncExtend, nil
+	default:
+		return 0, fmt.Errorf("core: truncate %s to %d: frame container supports only extension, truncate to 0, or current size: %w",
+			name, size, vfs.ErrInvalid)
+	}
+}
+
+// extendContainer appends a zero-extent marker frame at the new logical
+// end, persisting an extending truncate across remounts. Synchronous:
+// preallocation is rare and must be visible before returning.
+func (e *fileEntry) extendContainer(size int64) error {
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	e.flushTailLocked()
+	if err := e.waitDrained(); err != nil {
+		return err
+	}
+	frame := make([]byte, codec.HeaderSize)
+	e.mu.Lock()
+	if size <= e.logicalSize {
+		e.mu.Unlock()
+		return nil // a concurrent write already grew past it
+	}
+	pos := e.appendOff
+	e.appendOff += codec.HeaderSize
+	hdr := codec.Header{Codec: codec.RawID, Seq: e.frameSeq, Off: size, RawLen: 0, EncLen: 0}
+	e.frameSeq++
+	e.mu.Unlock()
+	codec.PutHeader(frame, hdr)
+	if _, err := e.backendFile.WriteAt(frame, pos); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.addFrameLocked(frameLoc{hdr: hdr, pos: pos})
+	if size > e.logicalSize {
+		e.logicalSize = size
+	}
+	e.mu.Unlock()
+	return nil
 }

@@ -57,9 +57,16 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	if !f.flag.Readable() {
 		return 0, fmt.Errorf("core: read %s: %w", f.name, vfs.ErrReadOnly)
 	}
+	if off < 0 {
+		// Validated here so framed reads (which never reach the backend's
+		// own offset check) error like plain ones instead of returning
+		// silent zeros.
+		return 0, fmt.Errorf("core: read %s: negative offset: %w", f.name, vfs.ErrInvalid)
+	}
 	e := f.entry
 	e.mu.Lock()
 	dirty := e.agg.Active() || e.doneChunks < e.writeChunks
+	framed := e.framed
 	e.mu.Unlock()
 	if dirty {
 		e.flushTail()
@@ -67,7 +74,14 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 			return 0, err
 		}
 	}
-	n, err := e.backendFile.ReadAt(p, off)
+	var n int
+	var err error
+	if framed {
+		// Frame container: decode the overlapping frames transparently.
+		n, err = e.readFramed(p, off)
+	} else {
+		n, err = e.backendFile.ReadAt(p, off)
+	}
 	f.fs.stats.reads.Add(1)
 	f.fs.stats.bytesRead.Add(int64(n))
 	return n, err
@@ -86,13 +100,7 @@ func (f *file) Truncate(size int64) error {
 	if err := e.waitDrained(); err != nil {
 		return err
 	}
-	if err := e.backendFile.Truncate(size); err != nil {
-		return err
-	}
-	e.mu.Lock()
-	e.logicalSize = size
-	e.mu.Unlock()
-	return nil
+	return e.truncate(size)
 }
 
 // Sync implements vfs.File: enqueue the current buffer chunk, wait for all

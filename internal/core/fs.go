@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"crfs/internal/codec"
 	"crfs/internal/vfs"
 )
 
@@ -13,13 +14,31 @@ type FS struct {
 	opts    Options
 	pool    *bufferPool
 	queue   chan *chunk
+	encBufs sync.Pool // *[]byte frame encode scratch, one per in-flight encode
 
 	mu      sync.Mutex
 	files   map[string]*fileEntry // open-file hash table, keyed by clean path
 	closed  bool
 	workers sync.WaitGroup
 
+	// statMu guards the closed-file probe cache: Stat of a closed file
+	// must sniff for the frame container magic (to report logical sizes),
+	// and without a cache a directory walk would pay a backend open+read
+	// per file per pass. Entries are keyed by path and validated against
+	// the backend size and mtime; writes through this mount invalidate
+	// explicitly on last close.
+	statMu    sync.Mutex
+	statCache map[string]statProbe
+
 	stats statCounters
+}
+
+// statProbe caches one closed-file sniff result.
+type statProbe struct {
+	size    int64 // backend (encoded) size the probe saw
+	modTime int64 // backend mtime (UnixNano) the probe saw
+	logical int64 // logical size (== size for plain files)
+	framed  bool
 }
 
 // Mount stacks CRFS over backend with the given options.
@@ -37,6 +56,11 @@ func Mount(backend vfs.FS, opts Options) (*FS, error) {
 		pool:    newBufferPool(opts.BufferPoolSize, opts.ChunkSize),
 		files:   make(map[string]*fileEntry),
 	}
+	fs.encBufs.New = func() any {
+		b := make([]byte, 0, opts.ChunkSize+codec.HeaderSize)
+		return &b
+	}
+	fs.statCache = make(map[string]statProbe)
 	fs.queue = make(chan *chunk, fs.pool.total)
 	fs.workers.Add(opts.IOThreads)
 	for i := 0; i < opts.IOThreads; i++ {
@@ -53,18 +77,77 @@ func (fs *FS) Backend() vfs.FS { return fs.backend }
 
 // ioWorker drains the work queue: fetch a chunk, write it to the backend
 // file at its tagged offset, mark completion, recycle the buffer (§IV-B,
-// "Work Queue and IO Throttling").
+// "Work Queue and IO Throttling"). Framed entries take the codec path:
+// encode, then append the frame — the expensive encode runs concurrently
+// across workers, exactly like the backend writes it precedes.
 func (fs *FS) ioWorker() {
 	defer fs.workers.Done()
 	for c := range fs.queue {
 		fs.stats.queueDepth.Add(-1)
 		entry := c.entry
-		_, err := entry.backendFile.WriteAt(c.buf[:c.fill], c.start)
-		fs.stats.backendWrites.Add(1)
-		fs.stats.backendBytes.Add(c.fill)
+		var err error
+		if entry.framed {
+			err = fs.writeFramed(entry, c)
+		} else {
+			_, err = entry.backendFile.WriteAt(c.buf[:c.fill], c.start)
+			fs.stats.backendWrites.Add(1)
+			fs.stats.backendBytes.Add(c.fill)
+		}
 		fs.pool.put(c)
 		entry.complete(err)
 	}
+}
+
+// writeFramed encodes one chunk as a frame and appends it to the entry's
+// container. Encoding happens outside any lock; only the append-offset
+// reservation and the index update are serialized, so workers overlap
+// compression with each other and with backend IO.
+func (fs *FS) writeFramed(e *fileEntry, c *chunk) error {
+	bp := fs.encBufs.Get().(*[]byte)
+	defer fs.encBufs.Put(bp)
+	frame, hdr, err := codec.EncodeFrame(fs.opts.Codec, c.seq, c.start, c.buf[:c.fill], (*bp)[:0])
+	if cap(frame) > cap(*bp) {
+		*bp = frame // keep the grown buffer for the next encode
+	}
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	pos := e.appendOff
+	e.appendOff += int64(len(frame))
+	e.mu.Unlock()
+	_, werr := e.backendFile.WriteAt(frame, pos)
+	fs.stats.backendWrites.Add(1)
+	fs.stats.backendBytes.Add(int64(len(frame)))
+	fs.stats.codecBytesIn.Add(c.fill)
+	fs.stats.codecBytesOut.Add(int64(len(frame)))
+	fs.stats.frames.Add(1)
+	if hdr.Codec == codec.RawID {
+		fs.stats.rawFrames.Add(1)
+	}
+	if werr != nil {
+		// Best effort: stamp a zero-extent pad frame over the reserved
+		// range so one failed chunk write doesn't leave an unscannable
+		// gap that loses every other frame of the container. The chunk's
+		// data is still lost and the sticky error still surfaces at
+		// close/fsync; if even the pad write fails the backend is gone
+		// anyway.
+		pad := make([]byte, codec.HeaderSize)
+		codec.PutHeader(pad, codec.Header{
+			Codec: codec.RawID, Seq: c.seq, Off: c.start,
+			RawLen: 0, EncLen: uint32(len(frame) - codec.HeaderSize),
+		})
+		if _, perr := e.backendFile.WriteAt(pad, pos); perr == nil && len(frame) > codec.HeaderSize {
+			// Materialize the reserved range so a scan doesn't see the
+			// pad's extent overrun the container.
+			e.backendFile.WriteAt([]byte{0}, pos+int64(len(frame))-1)
+		}
+		return werr
+	}
+	e.mu.Lock()
+	e.addFrameLocked(frameLoc{hdr: hdr, pos: pos})
+	e.mu.Unlock()
+	return nil
 }
 
 // flushPartials flushes the partial buffer chunks of every open file
@@ -108,17 +191,18 @@ func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 	}
 	key := vfs.Clean(name)
 
+	trunc := flag&vfs.Trunc != 0 && flag.Writable()
+
 	fs.mu.Lock()
 	if entry, ok := fs.files[key]; ok {
 		// File already open: share the entry (§IV-A "If the file is
 		// already opened, the reference counter ... is incremented").
-		entry.mu.Lock()
-		entry.refs++
-		if flag&vfs.Trunc != 0 && flag.Writable() {
-			entry.mu.Unlock()
+		if trunc {
 			fs.mu.Unlock()
 			return nil, fmt.Errorf("core: open %s: truncate of file with active writers unsupported: %w", key, vfs.ErrInvalid)
 		}
+		entry.mu.Lock()
+		entry.refs++
 		entry.mu.Unlock()
 		fs.mu.Unlock()
 		fs.stats.opens.Add(1)
@@ -127,7 +211,14 @@ func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 	fs.mu.Unlock()
 
 	// Open the backend file outside fs.mu: backend opens may be slow.
-	bf, err := fs.backend.Open(key, flag)
+	// Trunc is stripped and applied only after winning the table race
+	// below — truncating in the backend open would destroy the state of
+	// a concurrently registered entry before the re-check can reject us.
+	backendFlag := flag
+	if trunc {
+		backendFlag &^= vfs.Trunc
+	}
+	bf, err := fs.backend.Open(key, backendFlag)
 	if err != nil {
 		return nil, err
 	}
@@ -137,6 +228,22 @@ func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 		return nil, err
 	}
 
+	entry := newFileEntry(fs, key, bf, fs.opts.ChunkSize)
+	entry.logicalSize = info.Size
+	var indexErr error
+	if trunc {
+		// The content is about to be discarded; no point scanning it.
+		if fs.opts.framedWrites() {
+			entry.framed = true
+		}
+	} else {
+		indexErr = fs.indexEntry(entry, key, flag, info.Size)
+	}
+	// An index error is fatal only if we are truly first: a racing opener
+	// may be appending frames out of order right now (reserved ranges are
+	// transient holes), making a concurrent scan fail spuriously — in
+	// that case fall through and share the live entry instead.
+
 	fs.mu.Lock()
 	if fs.closed {
 		fs.mu.Unlock()
@@ -144,7 +251,14 @@ func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 		return nil, fmt.Errorf("core: filesystem unmounted: %w", vfs.ErrClosed)
 	}
 	if entry, ok := fs.files[key]; ok {
-		// Lost a race with another opener; share theirs.
+		// Lost a race with another opener; share theirs, with the same
+		// truncate guard as the first-pass check. The backend was opened
+		// without Trunc, so the live entry's state is undamaged.
+		if trunc {
+			fs.mu.Unlock()
+			bf.Close()
+			return nil, fmt.Errorf("core: open %s: truncate of file with active writers unsupported: %w", key, vfs.ErrInvalid)
+		}
 		entry.mu.Lock()
 		entry.refs++
 		entry.mu.Unlock()
@@ -153,13 +267,119 @@ func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 		fs.stats.opens.Add(1)
 		return &file{fs: fs, entry: entry, name: key, flag: flag}, nil
 	}
-	entry := newFileEntry(fs, key, bf, fs.opts.ChunkSize)
+	if indexErr != nil {
+		fs.mu.Unlock()
+		bf.Close()
+		return nil, indexErr
+	}
+	if trunc {
+		// Apply the deferred truncation while the entry is still private
+		// and fs.mu excludes sharers: published-then-truncated would let
+		// a racing opener's acknowledged writes be wiped by the reset.
+		// Taking the private entry's locks under fs.mu cannot deadlock
+		// (nobody else can hold them), and the cost is one backend
+		// ftruncate.
+		if err := entry.truncate(0); err != nil {
+			fs.mu.Unlock()
+			bf.Close()
+			return nil, err
+		}
+	}
 	entry.refs = 1
-	entry.logicalSize = info.Size
 	fs.files[key] = entry
 	fs.mu.Unlock()
 	fs.stats.opens.Add(1)
 	return &file{fs: fs, entry: entry, name: key, flag: flag}, nil
+}
+
+// indexEntry decides whether a fresh entry is a frame container and, if
+// so, builds its index. A new or empty file under a non-raw codec starts
+// a fresh container; an existing file is sniffed for the frame magic so
+// that containers decode transparently under any mount, while existing
+// plain files always stay passthrough — a raw mount writes bytes
+// identical to a codec-less build, and a codec mount never frames into
+// the middle of a plain file.
+func (fs *FS) indexEntry(entry *fileEntry, key string, flag vfs.OpenFlag, size int64) error {
+	if size < codec.HeaderSize {
+		if size == 0 && fs.opts.framedWrites() {
+			entry.framed = true
+		}
+		return nil
+	}
+	// Sniff through the entry's own handle when it can read; a
+	// write-only open sniffs through a temporary read handle.
+	r := entry.backendFile
+	if !flag.Readable() {
+		tmp, err := fs.backend.Open(key, vfs.ReadOnly)
+		if err != nil {
+			if fs.opts.framedWrites() {
+				return fmt.Errorf("core: open %s: cannot sniff frame container: %w", key, err)
+			}
+			return nil // raw mount, unreadable: keep seed passthrough
+		}
+		defer tmp.Close()
+		r = tmp
+	}
+	frames, logical, nextSeq, sniffed, ok, perr := probeContainer(r, size)
+	if perr != nil {
+		// Could not read the prefix at all: refuse rather than guess —
+		// writing plain bytes into what may be a container would corrupt
+		// it, and a read-only open would misreport sizes.
+		return fmt.Errorf("core: open %s: sniff: %w", key, perr)
+	}
+	if !ok {
+		// Magic mismatch, or matched but the parse/scan failed. For
+		// reads, failure demotes the file to plain passthrough: a plain
+		// file that merely begins with the magic bytes must stay
+		// readable (seed behavior), at the price that a damaged
+		// container reads back as its encoded stream — a state
+		// application checksums catch. On codec mounts, a *writable*
+		// open of such a file is refused instead: plain writes would
+		// land over a torn container's still-intact frames and compound
+		// the damage (truncate/Trunc rewrites remain available for
+		// recovery). Raw mounts keep full seed passthrough — they
+		// promise byte-identical behavior, including for plain files
+		// that merely begin with the magic.
+		if sniffed && flag.Writable() && fs.opts.framedWrites() {
+			return fmt.Errorf("core: open %s: damaged frame container (writable open refused; truncate to rewrite): %w",
+				key, codec.ErrCorrupt)
+		}
+		return nil
+	}
+	entry.framed = true
+	entry.setFrames(frames)
+	entry.logicalSize = logical
+	entry.appendOff = size
+	entry.frameSeq = nextSeq
+	return nil
+}
+
+// probeContainer reads a file's prefix and, when the frame magic
+// matches, parses and scans the index. sniffed reports a magic match;
+// ok reports a valid container; err reports that the prefix could not
+// be read at all (an IO failure, distinct from a mismatch — the caller
+// must not guess plain-vs-container in that case). Both Open and Stat
+// route through this single probe so demotion policy cannot drift
+// between them.
+func probeContainer(r backendHandle, size int64) (frames []frameLoc, logical int64, nextSeq uint64, sniffed, ok bool, err error) {
+	if size < codec.HeaderSize {
+		return nil, 0, 0, false, false, nil
+	}
+	hdr := make([]byte, codec.HeaderSize)
+	if _, rerr := r.ReadAt(hdr, 0); rerr != nil {
+		return nil, 0, 0, false, false, rerr
+	}
+	if !codec.Sniff(hdr) {
+		return nil, 0, 0, false, false, nil
+	}
+	if _, perr := codec.ParseHeader(hdr); perr != nil {
+		return nil, 0, 0, true, false, nil
+	}
+	frames, logical, nextSeq, serr := scanFrames(r, size)
+	if serr != nil {
+		return nil, 0, 0, true, false, nil
+	}
+	return frames, logical, nextSeq, true, true, nil
 }
 
 // releaseEntry decrements the entry's refcount and, on the last close,
@@ -175,6 +395,7 @@ func (fs *FS) releaseEntry(entry *fileEntry) error {
 	fs.mu.Lock()
 	delete(fs.files, entry.name)
 	fs.mu.Unlock()
+	fs.invalidateProbe(entry.name)
 	return entry.backendFile.Close()
 }
 
@@ -199,6 +420,7 @@ func (fs *FS) Remove(name string) error {
 	if err := fs.checkOpen(); err != nil {
 		return err
 	}
+	fs.invalidateProbe(name)
 	return fs.backend.Remove(name)
 }
 
@@ -214,11 +436,14 @@ func (fs *FS) Rename(oldName, newName string) error {
 			return err
 		}
 	}
+	fs.invalidateProbe(oldName, newName)
 	return fs.backend.Rename(oldName, newName)
 }
 
 // Stat implements vfs.FS. For files with buffered data the logical size is
-// reported, since the backend size lags until chunks land.
+// reported, since the backend size lags until chunks land; for frame
+// containers the logical (decoded) size is reported, since the backend
+// size is the encoded size.
 func (fs *FS) Stat(name string) (vfs.FileInfo, error) {
 	if err := fs.checkOpen(); err != nil {
 		return vfs.FileInfo{}, err
@@ -228,11 +453,71 @@ func (fs *FS) Stat(name string) (vfs.FileInfo, error) {
 		if err != nil {
 			return vfs.FileInfo{}, err
 		}
-		if size := entry.size(); size > info.Size {
+		entry.mu.Lock()
+		framed, size := entry.framed, entry.logicalSize
+		entry.mu.Unlock()
+		if framed || size > info.Size {
 			info.Size = size
+		}
+		return info, nil
+	}
+	if err == nil && !info.IsDir && info.Size >= codec.HeaderSize {
+		// No open entry: sniff for a frame container so Stat reports the
+		// decoded size the mount's reads will serve.
+		if logical, framed := fs.sniffLogicalSize(name, info); framed {
+			info.Size = logical
 		}
 	}
 	return info, err
+}
+
+// sniffLogicalSize probes a closed file for the frame container magic and,
+// when found, scans the index to compute the logical size. The scan reads
+// one header per frame; results are cached per path (validated against
+// backend size and mtime) so stat-heavy walks pay the probe once per file,
+// for plain and framed files alike.
+func (fs *FS) sniffLogicalSize(name string, info vfs.FileInfo) (int64, bool) {
+	key := vfs.Clean(name)
+	mod := info.ModTime.UnixNano()
+	fs.statMu.Lock()
+	if p, ok := fs.statCache[key]; ok && p.size == info.Size && p.modTime == mod {
+		fs.statMu.Unlock()
+		return p.logical, p.framed
+	}
+	fs.statMu.Unlock()
+
+	// Negative results (plain files, unprobeable files) are cached too:
+	// a stat-heavy walk must not re-open every such file on every pass.
+	probe := statProbe{size: info.Size, modTime: mod, logical: info.Size}
+	if f, err := fs.backend.Open(key, vfs.ReadOnly); err == nil {
+		if _, logical, _, _, ok, perr := probeContainer(f, info.Size); perr == nil && ok {
+			probe.logical, probe.framed = logical, true
+		}
+		f.Close()
+	}
+	fs.statMu.Lock()
+	if len(fs.statCache) >= 4096 {
+		// Bounded: evict one arbitrary entry rather than wiping the map,
+		// so walks over trees larger than the bound keep a high hit rate.
+		for k := range fs.statCache {
+			delete(fs.statCache, k)
+			break
+		}
+	}
+	fs.statCache[key] = probe
+	fs.statMu.Unlock()
+	return probe.logical, probe.framed
+}
+
+// invalidateProbe drops a path's cached closed-file probe; called when
+// this mount may have changed the file (last close, rename, remove,
+// truncate).
+func (fs *FS) invalidateProbe(names ...string) {
+	fs.statMu.Lock()
+	for _, n := range names {
+		delete(fs.statCache, vfs.Clean(n))
+	}
+	fs.statMu.Unlock()
 }
 
 // ReadDir implements vfs.FS (passthrough).
@@ -249,18 +534,58 @@ func (fs *FS) Truncate(name string, size int64) error {
 	if err := fs.checkOpen(); err != nil {
 		return err
 	}
+	fs.invalidateProbe(name)
 	if entry := fs.lookupEntry(name); entry != nil {
 		entry.flushTail()
 		if err := entry.waitDrained(); err != nil {
 			return err
 		}
-		err := fs.backend.Truncate(name, size)
+		return entry.truncate(size)
+	}
+	// Closed file: cutting a frame container's encoded stream mid-frame
+	// would corrupt it permanently, so probe first and apply the same
+	// contract as open framed entries. The probe is fresh (not the Stat
+	// cache) and a probe failure refuses the truncate rather than
+	// guessing plain — the same policy indexEntry applies to opens.
+	if info, serr := fs.backend.Stat(name); serr == nil && !info.IsDir && info.Size >= codec.HeaderSize {
+		var ok bool
+		var logical int64
+		f, err := fs.backend.Open(name, vfs.ReadOnly)
 		if err == nil {
-			entry.mu.Lock()
-			entry.logicalSize = size
-			entry.mu.Unlock()
+			_, logical, _, _, ok, err = probeContainer(f, info.Size)
+			f.Close()
 		}
-		return err
+		if err != nil {
+			// Unprobeable: a codec mount refuses rather than risk cutting
+			// a container mid-frame; a raw mount keeps seed passthrough
+			// (same split as indexEntry's can't-sniff policy).
+			if fs.opts.framedWrites() {
+				return fmt.Errorf("core: truncate %s: cannot probe for frame container: %w", name, err)
+			}
+		} else if ok {
+			act, err := containerTruncateAction(name, size, logical)
+			if err != nil {
+				return err
+			}
+			switch act {
+			case truncNoop:
+				return nil
+			case truncExtend:
+				// Route through an open entry so the marker-frame logic
+				// applies.
+				f, err := fs.Open(name, vfs.WriteOnly)
+				if err != nil {
+					return err
+				}
+				terr := f.Truncate(size)
+				if cerr := f.Close(); terr == nil {
+					terr = cerr
+				}
+				return terr
+			case truncReset:
+				// Reset to zero is the plain backend truncate below.
+			}
+		}
 	}
 	return fs.backend.Truncate(name, size)
 }

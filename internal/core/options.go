@@ -15,6 +15,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"crfs/internal/codec"
 )
 
 // Defaults chosen by the paper's evaluation (§V-B): a 16 MB buffer pool of
@@ -44,6 +46,20 @@ type Options struct {
 	// Close, after all chunks have landed. The paper's CRFS does not
 	// (checkpoint time excludes backend page-cache flush); off by default.
 	SyncOnClose bool
+	// Codec selects the chunk codec IO workers apply before the backend
+	// write. nil or the raw codec selects passthrough: chunks land
+	// verbatim at their file offsets and backend output is byte-identical
+	// to a codec-less mount. Any other codec makes each file written
+	// through the mount a self-describing frame container (see
+	// internal/codec): chunks are encoded in parallel on the IO workers,
+	// incompressible chunks fall back to raw frames, and reads through
+	// any CRFS mount decode containers transparently.
+	Codec codec.Codec
+}
+
+// framedWrites reports whether new files are written as frame containers.
+func (o Options) framedWrites() bool {
+	return o.Codec != nil && o.Codec.ID() != codec.RawID
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -55,6 +71,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.IOThreads == 0 {
 		o.IOThreads = DefaultIOThreads
+	}
+	if o.Codec == nil {
+		o.Codec = codec.Raw()
 	}
 	if o.BufferPoolSize < 0 || o.ChunkSize <= 0 || o.IOThreads < 0 {
 		return o, fmt.Errorf("core: invalid options %+v: %w", o, errInvalidOptions)

@@ -14,12 +14,14 @@ type chunk struct {
 	entry *fileEntry // target file; nil while free
 	start int64      // offset of buf[0] in the target file
 	fill  int64      // valid bytes in buf
+	seq   uint64     // flush-order frame sequence (framed entries only)
 }
 
 func (c *chunk) reset() {
 	c.entry = nil
 	c.start = 0
 	c.fill = 0
+	c.seq = 0
 }
 
 // bufferPool is the mount-time pool of fixed-size chunks (§IV-B). Get

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"crfs/internal/metrics"
+)
 
 // statCounters aggregates mount-wide activity with atomics so the hot
 // write path never takes a statistics lock.
@@ -15,6 +19,10 @@ type statCounters struct {
 	backendWrites atomic.Int64
 	backendBytes  atomic.Int64
 	queueDepth    atomic.Int64
+	codecBytesIn  atomic.Int64
+	codecBytesOut atomic.Int64
+	frames        atomic.Int64
+	rawFrames     atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a mount's activity. It quantifies
@@ -43,6 +51,17 @@ type Stats struct {
 	// PoolWaits counts chunk allocations that had to block on the pool —
 	// the backpressure signal that aggregation outran the IO threads.
 	PoolWaits int64
+	// CodecBytesIn is the raw chunk bytes handed to the codec by IO
+	// workers (framed entries only).
+	CodecBytesIn int64
+	// CodecBytesOut is the framed bytes (headers plus encoded payloads)
+	// those chunks became on the backend.
+	CodecBytesOut int64
+	// Frames counts frames appended to containers.
+	Frames int64
+	// RawFrames counts frames stored raw by the incompressible-data
+	// bailout (or because the mount's codec is raw).
+	RawFrames int64
 }
 
 // AggregationRatio returns application writes per backend write, the
@@ -52,6 +71,20 @@ func (s Stats) AggregationRatio() float64 {
 		return 0
 	}
 	return float64(s.Writes) / float64(s.BackendWrites)
+}
+
+// CompressionRatio returns raw bytes per framed backend byte — the codec
+// subsystem's IO-volume saving. 0 means no frames were written.
+func (s Stats) CompressionRatio() float64 { return s.Codec().Ratio() }
+
+// Codec returns the codec activity as a metrics.CodecStats summary.
+func (s Stats) Codec() metrics.CodecStats {
+	return metrics.CodecStats{
+		BytesIn:   s.CodecBytesIn,
+		BytesOut:  s.CodecBytesOut,
+		Frames:    s.Frames,
+		RawFrames: s.RawFrames,
+	}
 }
 
 // Stats returns a snapshot of the mount's counters.
@@ -67,5 +100,9 @@ func (fs *FS) Stats() Stats {
 		BackendWrites: fs.stats.backendWrites.Load(),
 		BackendBytes:  fs.stats.backendBytes.Load(),
 		PoolWaits:     fs.pool.waits.Load(),
+		CodecBytesIn:  fs.stats.codecBytesIn.Load(),
+		CodecBytesOut: fs.stats.codecBytesOut.Load(),
+		Frames:        fs.stats.frames.Load(),
+		RawFrames:     fs.stats.rawFrames.Load(),
 	}
 }

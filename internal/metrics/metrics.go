@@ -180,3 +180,32 @@ func FormatHistogram(rows []HistRow) string {
 	}
 	return b.String()
 }
+
+// CodecStats summarizes chunk-codec activity of a real CRFS mount: the
+// raw bytes IO workers handed to the codec versus the framed bytes that
+// reached the backend, the new measurable axis (IO volume) the codec
+// subsystem opens next to the paper's aggregation ratio.
+type CodecStats struct {
+	BytesIn   int64 // raw chunk bytes handed to the codec
+	BytesOut  int64 // framed bytes (headers + encoded payloads) written
+	Frames    int64 // frames appended to containers
+	RawFrames int64 // frames stored raw by the incompressible bailout
+}
+
+// Ratio returns raw bytes per framed backend byte (>1 means the codec
+// shrank the checkpoint IO volume). 0 means no frames were written.
+func (c CodecStats) Ratio() float64 {
+	if c.BytesOut == 0 {
+		return 0
+	}
+	return float64(c.BytesIn) / float64(c.BytesOut)
+}
+
+// SavedBytes returns the backend IO volume the codec avoided.
+func (c CodecStats) SavedBytes() int64 { return c.BytesIn - c.BytesOut }
+
+// Format renders the summary as a one-line report.
+func (c CodecStats) Format() string {
+	return fmt.Sprintf("codec: in=%d out=%d ratio=%.2fx frames=%d raw-frames=%d",
+		c.BytesIn, c.BytesOut, c.Ratio(), c.Frames, c.RawFrames)
+}
