@@ -12,17 +12,26 @@
 // write path over an in-memory backend, including the chunk codec:
 //
 //	crfsbench -real -codec deflate -size 268435456 -bs 8192
+//
+// -real -mix interleaves reads with the writes (the buffered-read-through
+// workload the paper's write-only scenario never exercises), and -delay
+// adds synthetic backend write latency so the avoided drain stalls are
+// visible:
+//
+//	crfsbench -real -mix -readfrac 0.5 -delay 200us -codec deflate
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"time"
 
 	crfs "crfs"
 	"crfs/internal/experiments"
+	"crfs/internal/memfs"
 )
 
 func main() {
@@ -33,10 +42,13 @@ func main() {
 	size := flag.Int64("size", 256<<20, "bytes to write in -real mode")
 	bs := flag.Int("bs", 8192, "application write size in -real mode")
 	entropy := flag.Float64("entropy", 0.5, "fraction of incompressible bytes in the -real payload (0..1)")
+	mix := flag.Bool("mix", false, "with -real: interleave reads of already-written data with the writes")
+	readFrac := flag.Float64("readfrac", 0.5, "with -real -mix: fraction of operations that are reads (0..1)")
+	delay := flag.Duration("delay", 0, "with -real: synthetic backend write latency (e.g. 200us)")
 	flag.Parse()
 
 	if *real {
-		if err := realBench(*codecName, *size, *bs, *entropy); err != nil {
+		if err := realBench(*codecName, *size, *bs, *entropy, *mix, *readFrac, *delay); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -66,23 +78,33 @@ func main() {
 
 // realBench drives the real aggregation pipeline: checkpoint-sized writes
 // through a mount over an in-memory backend, reporting throughput,
-// aggregation, and the codec's IO-volume saving.
-func realBench(codecName string, size int64, bs int, entropy float64) error {
+// aggregation, and the codec's IO-volume saving. With mix, reads of
+// already-written offsets are interleaved at the given fraction; they are
+// served by the buffered-read-through overlay, so the write pipeline
+// never drains mid-run.
+func realBench(codecName string, size int64, bs int, entropy float64, mix bool, readFrac float64, delay time.Duration) error {
 	if entropy < 0 || entropy > 1 {
 		return fmt.Errorf("crfsbench: -entropy %v out of range [0,1]", entropy)
 	}
 	if bs <= 0 || size <= 0 {
 		return fmt.Errorf("crfsbench: -size and -bs must be positive")
 	}
+	if mix && (readFrac < 0 || readFrac >= 1) {
+		return fmt.Errorf("crfsbench: -readfrac %v out of range [0,1)", readFrac)
+	}
 	cdc, err := crfs.LookupCodec(codecName)
 	if err != nil {
 		return err
 	}
-	fs, err := crfs.Mount(crfs.MemBackend(), crfs.Options{Codec: cdc})
+	fs, err := crfs.Mount(memfs.New(memfs.WithWriteDelay(delay)), crfs.Options{Codec: cdc})
 	if err != nil {
 		return err
 	}
-	f, err := fs.Open("bench.img", crfs.WriteOnly|crfs.Create)
+	flag := crfs.OpenFlag(crfs.WriteOnly)
+	if mix {
+		flag = crfs.ReadWrite
+	}
+	f, err := fs.Open("bench.img", flag|crfs.Create)
 	if err != nil {
 		fs.Unmount()
 		return err
@@ -92,17 +114,28 @@ func realBench(codecName string, size int64, bs int, entropy float64) error {
 	// appears within one codec frame) and zeros for the rest.
 	const poolLen = crfs.DefaultChunkSize
 	pool := make([]byte, poolLen+int64(bs))
-	rand.New(rand.NewSource(1)).Read(pool)
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(pool)
 	buf := make([]byte, bs)
+	rbuf := make([]byte, bs)
 	nrand := int(float64(bs) * entropy)
 	start := time.Now()
-	for off := int64(0); off < size; off += int64(bs) {
+	for off := int64(0); off < size; {
+		if mix && off > 0 && rng.Float64() < readFrac {
+			if _, err := f.ReadAt(rbuf, rng.Int63n(off)); err != nil && err != io.EOF {
+				f.Close()
+				fs.Unmount()
+				return err
+			}
+			continue
+		}
 		copy(buf[:nrand], pool[off%poolLen:])
 		if _, err := f.WriteAt(buf, off); err != nil {
 			f.Close()
 			fs.Unmount()
 			return err
 		}
+		off += int64(bs)
 	}
 	if err := f.Close(); err != nil {
 		fs.Unmount()
@@ -113,12 +146,16 @@ func realBench(codecName string, size int64, bs int, entropy float64) error {
 	}
 	el := time.Since(start).Seconds()
 	st := fs.Stats()
-	fmt.Printf("real: codec=%s wrote %d bytes in %.3fs (%.1f MB/s)\n",
-		cdc.Name(), st.BytesWritten, el, float64(st.BytesWritten)/el/(1<<20))
+	moved := st.BytesWritten + st.BytesRead
+	fmt.Printf("real: codec=%s wrote %d bytes, read %d bytes in %.3fs (%.1f MB/s)\n",
+		cdc.Name(), st.BytesWritten, st.BytesRead, el, float64(moved)/el/(1<<20))
 	fmt.Printf("app writes: %d, backend writes: %d (aggregation %.1fx), backend bytes: %d\n",
 		st.Writes, st.BackendWrites, st.AggregationRatio(), st.BackendBytes)
 	if cs := st.Codec(); cs.Frames > 0 {
 		fmt.Println(cs.Format())
+	}
+	if rp := st.ReadPath(); rp.Reads > 0 {
+		fmt.Println(rp.Format())
 	}
 	return nil
 }

@@ -8,9 +8,13 @@
 // buffer pool, and writes the chunks to the backing filesystem
 // asynchronously from a small pool of IO worker goroutines that throttle
 // backend concurrency. Close and Sync block until every outstanding chunk
-// of the file has landed, and reads pass through, so a file written via
-// CRFS can be read directly from the backend afterwards — no layout is
-// changed.
+// of the file has landed, so a file written via CRFS can be read directly
+// from the backend afterwards — no layout is changed (with the default raw
+// codec). Reads are read-your-writes without stalling the pipeline: data
+// still buffered or in flight is served from the chunk buffers themselves
+// (the buffered-read-through overlay), so mixed read/write workloads and
+// restart-while-checkpointing never collapse the asynchronous write path
+// the way a drain-before-read would.
 //
 // Optionally, a chunk codec (Options.Codec) compresses each chunk on the
 // IO workers before the backend write, trading CPU on the otherwise

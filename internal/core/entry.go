@@ -13,11 +13,11 @@ import (
 
 // fileEntry is one row of CRFS's open-file hash table (§IV-A). All open
 // handles of the same path share the entry; it owns the backend handle, the
-// per-file aggregator, the active chunk, and the outstanding-chunk counters
-// used by close()/fsync() to wait for completion.
+// per-file aggregator, the active chunk, the in-flight chunk list serving
+// the buffered-read-through path, and the outstanding-chunk counters used
+// by close()/fsync() to wait for completion.
 type fileEntry struct {
-	fs   *FS
-	name string
+	fs *FS
 
 	// writeMu serializes the write/flush path of this file so that the
 	// aggregation ops of one write are applied atomically even when the
@@ -29,14 +29,20 @@ type fileEntry struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
+	// name is the entry's current open-file table key. It changes when
+	// the path is renamed while open, so all access is under mu (or
+	// fs.mu+mu for table re-keying); use pathName outside locks.
+	name string
+
 	refs        int // open handles
 	backendFile backendHandle
 	agg         *chunker.FileAgg
-	active      *chunk // chunk currently being filled, nil if none
-	writeChunks int64  // chunks handed to the work queue ("write chunk count")
-	doneChunks  int64  // chunks completed by IO threads ("complete chunk count")
-	logicalSize int64  // max written end; backend size may lag while buffered
-	firstErr    error  // first backend write error, surfaced at close/fsync/write
+	active      *chunk   // chunk currently being filled, nil if none
+	inflight    []*chunk // enqueued, not yet completed; flush (seq) order
+	writeChunks int64    // chunks handed to the work queue ("write chunk count")
+	doneChunks  int64    // chunks completed by IO threads ("complete chunk count")
+	logicalSize int64    // max written end; backend size may lag while buffered
+	firstErr    error    // first backend write error, surfaced at close/fsync/write
 
 	// Frame-container state (framed entries only, guarded by mu). A
 	// framed entry's backend file is a sequence of codec frames rather
@@ -116,17 +122,21 @@ func (e *fileEntry) write(p []byte, off int64) (int, error) {
 			e.mu.Unlock()
 		case chunker.OpCopy:
 			c := e.active
-			c.fill = op.Pos + op.N
 			if op.Pos == 0 {
 				c.start = op.Off
 			}
 			copy(c.buf[op.Pos:op.Pos+op.N], p[op.Src:op.Src+op.N])
+			// Publish fill only after the bytes landed: concurrent
+			// overlay readers load fill (acquire) and may then copy
+			// buf[:fill] without further synchronization.
+			c.fill.Store(op.Pos + op.N)
 		case chunker.OpFlush:
 			e.enqueueActive()
 		}
 	}
 	e.mu.Lock()
-	if end := off + int64(len(p)); end > e.logicalSize {
+	// POSIX: a zero-length write must not extend the file.
+	if end := off + int64(len(p)); len(p) > 0 && end > e.logicalSize {
 		e.logicalSize = end
 	}
 	e.mu.Unlock()
@@ -138,7 +148,10 @@ func (e *fileEntry) write(p []byte, off int64) (int, error) {
 // enqueueActive hands the active chunk to the work queue and bumps the
 // outstanding counter. The frame sequence number is assigned here, in
 // flush order, so that decode can restore write order even though
-// concurrent IO workers append frames to the container out of order.
+// concurrent IO workers append frames to the container out of order. The
+// chunk also joins the in-flight list in the same critical section, so
+// overlay readers see every enqueued-but-unwritten chunk in seq order
+// (enqueueActive is serialized per entry by writeMu).
 func (e *fileEntry) enqueueActive() {
 	c := e.active
 	e.mu.Lock()
@@ -146,6 +159,7 @@ func (e *fileEntry) enqueueActive() {
 	e.writeChunks++
 	c.seq = e.frameSeq
 	e.frameSeq++
+	e.inflight = append(e.inflight, c)
 	e.mu.Unlock()
 	e.fs.stats.chunksFlushed.Add(1)
 	e.fs.enqueue(c)
@@ -188,15 +202,44 @@ func (e *fileEntry) waitDrained() error {
 	return e.firstErr
 }
 
-// complete is called by IO workers after writing a chunk.
-func (e *fileEntry) complete(err error) {
+// complete is called by IO workers after writing a chunk. The chunk is
+// marked done, and the in-flight list is retired strictly from the front
+// (flush/seq order): a done chunk whose older sibling is still being
+// written stays listed, so an overlay reader keeps applying it *after*
+// the older chunk's bytes — dropping it early would let the older
+// in-flight overlay shadow this chunk's newer, already-durable data.
+// Retirement happens in the same critical section that bumps doneChunks;
+// for framed entries the frame index was updated first (under mu, in
+// writeFramed), so a retired chunk's bytes are always in the durable
+// base. complete returns the retired chunks; the caller must unpin each
+// (their pipeline references) outside the lock.
+func (e *fileEntry) complete(c *chunk, err error) []*chunk {
 	e.mu.Lock()
 	e.doneChunks++
 	if err != nil && e.firstErr == nil {
 		e.firstErr = err
 	}
+	c.done = true
+	var retired []*chunk
+	n := 0
+	for n < len(e.inflight) && e.inflight[n].done {
+		n++
+	}
+	if n > 0 {
+		retired = append(retired, e.inflight[:n]...)
+		e.inflight = append(e.inflight[:0], e.inflight[n:]...)
+	}
 	e.mu.Unlock()
 	e.cond.Broadcast()
+	return retired
+}
+
+// pathName returns the entry's current table key for use outside locks
+// (error messages, probe invalidation); the name changes on rename.
+func (e *fileEntry) pathName() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.name
 }
 
 // scanFrames walks a frame container of the given backend size and
@@ -284,14 +327,89 @@ func (e *fileEntry) overlapFrames(off, end int64) []frameLoc {
 	return overlap
 }
 
-// readFramed serves a positional read from a drained frame container:
-// zero-fill (holes read as zeros, like sparse files), then overlay every
-// overlapping frame's decoded bytes in sequence order so later writes
-// shadow earlier ones.
-func (e *fileEntry) readFramed(p []byte, off int64) (int, error) {
+// overlay is one pinned extent of buffered data to copy over the durable
+// base of a read: an in-flight chunk or the active partial chunk. The
+// snapshot (start, n) is taken under mu at plan time; buf[:n] is
+// append-only and stays valid while the chunk is pinned.
+type overlay struct {
+	buf   []byte
+	start int64
+	n     int64
+}
+
+// readPlan is a pinned snapshot of the part of a file's write pipeline
+// that a read must see: the in-flight chunks in flush (seq) order, then
+// the active partial chunk — later overlays shadow earlier ones, and all
+// of them shadow the durable base. release must be called when the copy
+// is done so the pool can recycle the buffers.
+type readPlan struct {
+	overlays []overlay
+	pinned   []*chunk
+}
+
+func (p *readPlan) add(c *chunk, off, end int64) {
+	fill := c.fill.Load()
+	if fill == 0 || c.start >= end || c.start+fill <= off {
+		return
+	}
+	c.pin()
+	p.pinned = append(p.pinned, c)
+	p.overlays = append(p.overlays, overlay{buf: c.buf, start: c.start, n: fill})
+}
+
+func (p *readPlan) release() {
+	for _, c := range p.pinned {
+		c.unpin()
+	}
+}
+
+// planRead snapshots everything a read of [off, end) needs from the
+// entry's pipeline in one critical section: the sticky error, the logical
+// size, the container flag, whether the pipeline is dirty (the old read
+// path would have drained it), and the pinned overlays.
+func (e *fileEntry) planRead(off, end int64) (plan readPlan, size int64, framed, dirty bool, err error) {
 	e.mu.Lock()
-	size := e.logicalSize
-	e.mu.Unlock()
+	defer e.mu.Unlock()
+	if err = e.firstErr; err != nil {
+		return
+	}
+	size = e.logicalSize
+	framed = e.framed
+	dirty = e.doneChunks < e.writeChunks
+	for _, c := range e.inflight {
+		plan.add(c, off, end)
+	}
+	if c := e.active; c != nil {
+		if c.fill.Load() > 0 {
+			dirty = true
+		}
+		plan.add(c, off, end)
+	}
+	return
+}
+
+// readAt serves a positional read with the buffered-read-through overlay
+// (read-your-writes without draining the pipeline, cf. §IV-D.1 which
+// passes reads through only because checkpoint streams are write-only).
+// Precedence, lowest first: the durable base (backend bytes, or decoded
+// frames for a container), the in-flight chunks in flush order, the
+// active partial chunk. A clean plain file stays pure passthrough.
+func (e *fileEntry) readAt(p []byte, off int64) (int, error) {
+	plan, size, framed, dirty, err := e.planRead(off, off+int64(len(p)))
+	defer plan.release()
+	if err != nil {
+		return 0, err
+	}
+	if dirty {
+		e.fs.stats.readDrainsAvoided.Add(1)
+	}
+	if len(plan.overlays) > 0 {
+		e.fs.stats.readsFromBuffer.Add(1)
+	}
+	if !framed && !dirty && len(plan.overlays) == 0 {
+		// Clean plain file: seed passthrough, byte-identical semantics.
+		return e.backendFile.ReadAt(p, off)
+	}
 	if off >= size {
 		return 0, io.EOF
 	}
@@ -300,6 +418,55 @@ func (e *fileEntry) readFramed(p []byte, off int64) (int, error) {
 		p = p[:size-off]
 		short = true
 	}
+	// Skip the base when a single buffered extent covers the whole read
+	// (the common read-back-what-I-just-wrote): start applying at the
+	// last covering overlay, which shadows everything below it.
+	first := 0
+	base := true
+	for i, ov := range plan.overlays {
+		if ov.start <= off && off+int64(len(p)) <= ov.start+ov.n {
+			base, first = false, i
+		}
+	}
+	if base {
+		if framed {
+			err = e.readFramedInto(p, off)
+		} else {
+			err = e.readPlainInto(p, off)
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+	for _, ov := range plan.overlays[first:] {
+		lo := max(ov.start, off)
+		hi := min(ov.start+ov.n, off+int64(len(p)))
+		if lo < hi {
+			copy(p[lo-off:hi-off], ov.buf[lo-ov.start:hi-ov.start])
+		}
+	}
+	if short {
+		return len(p), io.EOF
+	}
+	return len(p), nil
+}
+
+// readPlainInto fills p from the backend at off, reading bytes the
+// backend has and zero-filling the rest (buffered-but-unlanded extents
+// read as holes until the overlays above patch them in).
+func (e *fileEntry) readPlainInto(p []byte, off int64) error {
+	n, err := e.backendFile.ReadAt(p, off)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	clear(p[n:])
+	return nil
+}
+
+// readFramedInto fills p from a frame container: zero-fill (holes read as
+// zeros, like sparse files), then overlay every overlapping frame's
+// decoded bytes in sequence order so later writes shadow earlier ones.
+func (e *fileEntry) readFramedInto(p []byte, off int64) error {
 	overlap := e.overlapFrames(off, off+int64(len(p)))
 	if !(len(overlap) == 1 && overlap[0].hdr.Off <= off &&
 		overlap[0].hdr.Off+int64(overlap[0].hdr.RawLen) >= off+int64(len(p))) {
@@ -310,16 +477,13 @@ func (e *fileEntry) readFramed(p []byte, off int64) (int, error) {
 	for _, fr := range overlap {
 		raw, err := e.decodeFrame(fr)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		lo := max(fr.hdr.Off, off)
 		hi := min(fr.hdr.Off+int64(fr.hdr.RawLen), off+int64(len(p)))
 		copy(p[lo-off:hi-off], raw[lo-fr.hdr.Off:hi-fr.hdr.Off])
 	}
-	if short {
-		return len(p), io.EOF
-	}
-	return len(p), nil
+	return nil
 }
 
 // decodeFrame returns a frame's raw bytes, serving from the one-frame
@@ -343,7 +507,7 @@ func (e *fileEntry) decodeFrame(fr frameLoc) ([]byte, error) {
 	}
 	raw, err := codec.DecodeFrame(fr.hdr, enc, nil)
 	if err != nil {
-		return nil, fmt.Errorf("core: %s: %w", e.name, err)
+		return nil, fmt.Errorf("core: %s: %w", e.pathName(), err)
 	}
 	e.decMu.Lock()
 	if e.decGen == gen {
@@ -364,9 +528,10 @@ func (e *fileEntry) decodeFrame(fr frameLoc) ([]byte, error) {
 func (e *fileEntry) truncate(size int64) error {
 	e.mu.Lock()
 	framed, logical := e.framed, e.logicalSize
+	name := e.name
 	e.mu.Unlock()
 	if framed {
-		switch act, err := containerTruncateAction(e.name, size, logical); {
+		switch act, err := containerTruncateAction(name, size, logical); {
 		case err != nil:
 			return err
 		case act == truncNoop:

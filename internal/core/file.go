@@ -47,9 +47,13 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 
 // ReadAt implements vfs.File. The paper passes reads straight through
 // (§IV-D.1) because checkpoint files are never read while being written;
-// for general workloads that would return stale data, so if this file has
-// buffered or in-flight chunks we first drain them, then pass the read
-// through. In the paper's workloads the drain is a no-op.
+// for general workloads (mixed read/write, restart-while-checkpointing)
+// that would return stale data, so reads are served through the
+// buffered-read-through overlay: the durable bytes (backend, or decoded
+// frames for a container) patched with this file's in-flight chunks and
+// active partial chunk, in write order. The read never flushes or waits
+// on the pipeline, so one reader cannot stall the asynchronous write
+// path; clean plain files stay pure passthrough.
 func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	if err := f.checkOpen(); err != nil {
 		return 0, err
@@ -63,25 +67,7 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		// silent zeros.
 		return 0, fmt.Errorf("core: read %s: negative offset: %w", f.name, vfs.ErrInvalid)
 	}
-	e := f.entry
-	e.mu.Lock()
-	dirty := e.agg.Active() || e.doneChunks < e.writeChunks
-	framed := e.framed
-	e.mu.Unlock()
-	if dirty {
-		e.flushTail()
-		if err := e.waitDrained(); err != nil {
-			return 0, err
-		}
-	}
-	var n int
-	var err error
-	if framed {
-		// Frame container: decode the overlapping frames transparently.
-		n, err = e.readFramed(p, off)
-	} else {
-		n, err = e.backendFile.ReadAt(p, off)
-	}
+	n, err := f.entry.readAt(p, off)
 	f.fs.stats.reads.Add(1)
 	f.fs.stats.bytesRead.Add(int64(n))
 	return n, err
@@ -118,12 +104,14 @@ func (f *file) Sync() error {
 	return e.backendFile.Sync()
 }
 
-// Stat implements vfs.File.
+// Stat implements vfs.File. It resolves the entry's *current* table key,
+// not the open-time name: the path may have been renamed since the open,
+// and the handle must keep describing its file.
 func (f *file) Stat() (vfs.FileInfo, error) {
 	if err := f.checkOpen(); err != nil {
 		return vfs.FileInfo{}, err
 	}
-	return f.fs.Stat(f.name)
+	return f.fs.Stat(f.entry.pathName())
 }
 
 // Close implements vfs.File: enqueue the remaining partial chunk, block

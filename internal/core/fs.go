@@ -85,16 +85,22 @@ func (fs *FS) ioWorker() {
 	for c := range fs.queue {
 		fs.stats.queueDepth.Add(-1)
 		entry := c.entry
+		fill := c.fill.Load()
 		var err error
 		if entry.framed {
 			err = fs.writeFramed(entry, c)
 		} else {
-			_, err = entry.backendFile.WriteAt(c.buf[:c.fill], c.start)
+			_, err = entry.backendFile.WriteAt(c.buf[:fill], c.start)
 			fs.stats.backendWrites.Add(1)
-			fs.stats.backendBytes.Add(c.fill)
+			fs.stats.backendBytes.Add(fill)
 		}
-		fs.pool.put(c)
-		entry.complete(err)
+		// Retire what this completion unblocks (in-flight prefix of done
+		// chunks), then drop those pipeline references; a reader still
+		// copying from a chunk holds a pin, and the last unpin recycles
+		// the buffer.
+		for _, rc := range entry.complete(c, err) {
+			rc.unpin()
+		}
 	}
 }
 
@@ -105,7 +111,8 @@ func (fs *FS) ioWorker() {
 func (fs *FS) writeFramed(e *fileEntry, c *chunk) error {
 	bp := fs.encBufs.Get().(*[]byte)
 	defer fs.encBufs.Put(bp)
-	frame, hdr, err := codec.EncodeFrame(fs.opts.Codec, c.seq, c.start, c.buf[:c.fill], (*bp)[:0])
+	fill := c.fill.Load()
+	frame, hdr, err := codec.EncodeFrame(fs.opts.Codec, c.seq, c.start, c.buf[:fill], (*bp)[:0])
 	if cap(frame) > cap(*bp) {
 		*bp = frame // keep the grown buffer for the next encode
 	}
@@ -119,7 +126,7 @@ func (fs *FS) writeFramed(e *fileEntry, c *chunk) error {
 	_, werr := e.backendFile.WriteAt(frame, pos)
 	fs.stats.backendWrites.Add(1)
 	fs.stats.backendBytes.Add(int64(len(frame)))
-	fs.stats.codecBytesIn.Add(c.fill)
+	fs.stats.codecBytesIn.Add(fill)
 	fs.stats.codecBytesOut.Add(int64(len(frame)))
 	fs.stats.frames.Add(1)
 	if hdr.Codec == codec.RawID {
@@ -182,9 +189,14 @@ func (fs *FS) checkOpen() error {
 	return nil
 }
 
-// Open implements vfs.FS. Writable opens are routed through the open-file
-// table so all handles of a path share one aggregation pipeline; read-only
-// opens of files with no outstanding writes pass straight through.
+// Open implements vfs.FS. Every open — including read-only — is routed
+// through the open-file table so all handles of a path share one entry:
+// writable handles share a single aggregation pipeline (§IV-A), and
+// read-only handles of an already-open path serve the buffered-read-
+// through overlay from that pipeline instead of reading stale backend
+// bytes. The table entry (not the open) is what costs: a read-only open
+// of a closed file pays one backend open plus, when the file could be a
+// frame container, the header-only index scan.
 func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 	if err := fs.checkOpen(); err != nil {
 		return nil, err
@@ -383,7 +395,10 @@ func probeContainer(r backendHandle, size int64) (frames []frameLoc, logical int
 }
 
 // releaseEntry decrements the entry's refcount and, on the last close,
-// removes it from the table and closes the backend handle.
+// removes it from the table and closes the backend handle. The delete is
+// guarded by identity: a Remove may have evicted the entry already, and a
+// later Open may have installed a fresh entry under the same path — that
+// entry must not be torn down by this close.
 func (fs *FS) releaseEntry(entry *fileEntry) error {
 	entry.mu.Lock()
 	entry.refs--
@@ -393,9 +408,14 @@ func (fs *FS) releaseEntry(entry *fileEntry) error {
 		return nil
 	}
 	fs.mu.Lock()
-	delete(fs.files, entry.name)
+	entry.mu.Lock()
+	name := entry.name
+	if fs.files[name] == entry {
+		delete(fs.files, name)
+	}
+	entry.mu.Unlock()
 	fs.mu.Unlock()
-	fs.invalidateProbe(entry.name)
+	fs.invalidateProbe(name)
 	return entry.backendFile.Close()
 }
 
@@ -415,29 +435,116 @@ func (fs *FS) MkdirAll(name string) error {
 	return fs.backend.MkdirAll(name)
 }
 
-// Remove implements vfs.FS (passthrough).
+// Remove implements vfs.FS. Removing an open path evicts its entry from
+// the open-file table (a later Open of the same name must not resurrect
+// the removed file by sharing the old handle); existing handles keep
+// working against the detached backend handle until their last close,
+// like POSIX unlink of an open file, backend permitting.
 func (fs *FS) Remove(name string) error {
 	if err := fs.checkOpen(); err != nil {
 		return err
 	}
+	key := vfs.Clean(name)
+	fs.mu.Lock()
+	entry, open := fs.files[key]
+	if open {
+		delete(fs.files, key)
+	}
+	fs.mu.Unlock()
+	// The backend remove runs outside fs.mu (it may be a slow network
+	// round-trip, and Opens must not stall behind it). The eviction-first
+	// order is safe either way: a racing Open re-creates the file from
+	// the backend's live state.
+	err := fs.backend.Remove(name)
+	if err != nil && open {
+		// Backend refused; the path still exists, so restore the entry —
+		// unless its last handle closed while we were evicted, in which
+		// case its backend handle is already closed and reinstalling it
+		// would hand future opens a dead entry.
+		fs.mu.Lock()
+		entry.mu.Lock()
+		if _, exists := fs.files[key]; !exists && entry.refs > 0 {
+			fs.files[key] = entry
+		}
+		entry.mu.Unlock()
+		fs.mu.Unlock()
+	}
 	fs.invalidateProbe(name)
-	return fs.backend.Remove(name)
+	return err
 }
 
-// Rename implements vfs.FS (passthrough). Renaming a file with buffered
-// writes first drains it so no chunk lands under the old name afterwards.
+// Rename implements vfs.FS. Renaming a file with buffered writes first
+// drains it so no chunk lands under the old name on backends whose
+// handles do not follow the rename; the source's open-file table entry is
+// then re-keyed under the new name, so handles keep working and a later
+// Open of either name resolves correctly. Renaming over a path that is
+// open is rejected: the destination's handles would keep serving the
+// overwritten file under a name that now means something else.
 func (fs *FS) Rename(oldName, newName string) error {
 	if err := fs.checkOpen(); err != nil {
 		return err
 	}
-	if entry := fs.lookupEntry(oldName); entry != nil {
-		entry.flushTail()
-		if err := entry.waitDrained(); err != nil {
-			return err
+	oldKey, newKey := vfs.Clean(oldName), vfs.Clean(newName)
+	// Drain the source while *holding* its writeMu, and keep holding it
+	// across the backend rename: without the exclusion, a write racing
+	// the rename could buffer a chunk after the drain and have it land
+	// under the old path on backends whose handles do not follow a
+	// rename. Taking fs.mu while holding a writeMu matches the existing
+	// pool-reclaim lock order (write path → flushPartials → fs.mu). The
+	// loop re-checks under fs.mu that the entry we drained is still the
+	// table's entry for oldKey — a close+reopen race could swap in a
+	// fresh, un-drained entry, which must not be re-keyed unexcluded.
+	for {
+		entry := fs.lookupEntry(oldKey)
+		if entry != nil {
+			entry.writeMu.Lock()
+			entry.flushTailLocked()
+			if err := entry.waitDrained(); err != nil {
+				entry.writeMu.Unlock()
+				return err
+			}
 		}
+		fs.mu.Lock()
+		if fs.files[oldKey] != entry {
+			fs.mu.Unlock()
+			if entry != nil {
+				entry.writeMu.Unlock()
+			}
+			continue // raced with close/reopen of the source; retry
+		}
+		err := fs.renameLocked(oldKey, newKey, oldName, newName, entry)
+		fs.mu.Unlock()
+		if entry != nil {
+			entry.writeMu.Unlock()
+		}
+		if err == nil {
+			fs.invalidateProbe(oldName, newName)
+		}
+		return err
 	}
-	fs.invalidateProbe(oldName, newName)
-	return fs.backend.Rename(oldName, newName)
+}
+
+// renameLocked performs the backend rename and table re-key. The caller
+// holds fs.mu, and entry (== fs.files[oldKey], possibly nil) is drained
+// with its writeMu held. Backend rename and re-key happen under one fs.mu
+// hold so they are atomic with respect to Open and lookupEntry: a rename
+// (rare) stalls concurrent opens for one backend round-trip rather than
+// let an Open(newName) build a second entry for the same file.
+func (fs *FS) renameLocked(oldKey, newKey, oldName, newName string, entry *fileEntry) error {
+	if _, ok := fs.files[newKey]; ok && newKey != oldKey {
+		return fmt.Errorf("core: rename %s to %s: destination is open: %w", oldKey, newKey, vfs.ErrInvalid)
+	}
+	if err := fs.backend.Rename(oldName, newName); err != nil {
+		return err
+	}
+	if entry != nil && newKey != oldKey {
+		delete(fs.files, oldKey)
+		fs.files[newKey] = entry
+		entry.mu.Lock()
+		entry.name = newKey
+		entry.mu.Unlock()
+	}
+	return nil
 }
 
 // Stat implements vfs.FS. For files with buffered data the logical size is

@@ -7,9 +7,12 @@
 // chunks are handed to a work queue drained by a small pool of IO worker
 // goroutines that issue large asynchronous writes to the backend, throttling
 // backend concurrency (§IV of the paper). close() and fsync() block until
-// every outstanding chunk of the file has landed. Reads and metadata
-// operations pass through, and CRFS never changes file layout, so a file
-// written through CRFS can be read directly from the backend.
+// every outstanding chunk of the file has landed. Metadata operations pass
+// through, and with the default raw codec CRFS never changes file layout,
+// so a file written through CRFS can be read directly from the backend
+// after close. Reads through the mount are read-your-writes at all times:
+// buffered and in-flight chunks are overlaid onto the durable bytes
+// without draining the pipeline.
 package core
 
 import (

@@ -9,19 +9,54 @@ import (
 // extent of exactly one file; on flush it carries the metadata the IO
 // thread needs (§IV-B: "Each chunk is tagged with ... target file handler,
 // offset into the file, valid data size").
+//
+// A chunk's payload is append-only: bytes below fill are never rewritten,
+// and fill is published with an atomic store *after* the copy lands, so a
+// reader that loads fill sees fully written bytes. Readers serving the
+// buffered-read-through path pin the chunk (a refcount) while copying from
+// it; the buffer returns to the pool only when the IO worker's pipeline
+// reference and every reader pin are gone.
 type chunk struct {
 	buf   []byte
-	entry *fileEntry // target file; nil while free
-	start int64      // offset of buf[0] in the target file
-	fill  int64      // valid bytes in buf
-	seq   uint64     // flush-order frame sequence (framed entries only)
+	pool  *bufferPool
+	entry *fileEntry   // target file; nil while free
+	start int64        // offset of buf[0] in the target file
+	fill  atomic.Int64 // valid bytes in buf; store-release after the copy
+	seq   uint64       // flush-order frame sequence (assigned at enqueue)
+
+	// refs counts reasons the buffer must stay alive: one pipeline
+	// reference from get() to the chunk's retirement from its entry's
+	// in-flight list, plus one per reader currently copying from the
+	// chunk. The last unpin recycles the buffer into the pool.
+	refs atomic.Int32
+
+	// done marks the backend write complete (guarded by entry.mu). A
+	// done chunk stays on the in-flight list until every lower-seq chunk
+	// of the entry is also done, so overlay readers always apply
+	// overlapping chunks in write order even when IO workers complete
+	// them out of order.
+	done bool
 }
 
 func (c *chunk) reset() {
 	c.entry = nil
 	c.start = 0
-	c.fill = 0
+	c.fill.Store(0)
 	c.seq = 0
+	c.done = false
+}
+
+// pin takes a reader reference. Callers must guarantee the chunk is still
+// reachable from its entry (hold entry.mu while it is the active chunk or
+// on the in-flight list): reachability implies the pipeline reference is
+// still held, so refs cannot concurrently hit zero.
+func (c *chunk) pin() { c.refs.Add(1) }
+
+// unpin drops a reference; the last one recycles the chunk.
+func (c *chunk) unpin() {
+	if c.refs.Add(-1) == 0 {
+		c.pool.put(c)
+	}
 }
 
 // bufferPool is the mount-time pool of fixed-size chunks (§IV-B). Get
@@ -45,20 +80,21 @@ func newBufferPool(poolSize, chunkSize int64) *bufferPool {
 		total:     n,
 	}
 	for i := 0; i < n; i++ {
-		p.free <- &chunk{buf: make([]byte, chunkSize)}
+		p.free <- &chunk{buf: make([]byte, chunkSize), pool: p}
 	}
 	return p
 }
 
-// get returns a free chunk, blocking until one is available. While
-// blocked it periodically invokes reclaim, which flushes other files'
-// partial chunks: with more concurrently written files than pool chunks,
-// every chunk can be pinned as some file's partial buffer, and without
-// reclamation writers would deadlock (a corner the paper's design leaves
-// open).
+// get returns a free chunk holding its pipeline reference, blocking until
+// one is available. While blocked it periodically invokes reclaim, which
+// flushes other files' partial chunks: with more concurrently written
+// files than pool chunks, every chunk can be pinned as some file's partial
+// buffer, and without reclamation writers would deadlock (a corner the
+// paper's design leaves open).
 func (p *bufferPool) get(reclaim func()) *chunk {
 	select {
 	case c := <-p.free:
+		c.refs.Store(1)
 		return c
 	default:
 	}
@@ -66,6 +102,7 @@ func (p *bufferPool) get(reclaim func()) *chunk {
 	for {
 		select {
 		case c := <-p.free:
+			c.refs.Store(1)
 			return c
 		case <-time.After(200 * time.Microsecond):
 			if reclaim != nil {
@@ -76,7 +113,8 @@ func (p *bufferPool) get(reclaim func()) *chunk {
 }
 
 // put returns a chunk to the pool. It never blocks: the pool's capacity
-// equals the number of chunks in existence.
+// equals the number of chunks in existence. Callers release chunks via
+// unpin; put is only called once refs reached zero.
 func (p *bufferPool) put(c *chunk) {
 	c.reset()
 	p.free <- c

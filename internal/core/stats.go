@@ -23,6 +23,9 @@ type statCounters struct {
 	codecBytesOut atomic.Int64
 	frames        atomic.Int64
 	rawFrames     atomic.Int64
+
+	readsFromBuffer   atomic.Int64
+	readDrainsAvoided atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a mount's activity. It quantifies
@@ -33,7 +36,8 @@ type Stats struct {
 	Opens int64
 	// Writes counts application WriteAt calls absorbed by aggregation.
 	Writes int64
-	// Reads counts application ReadAt calls (passthrough).
+	// Reads counts application ReadAt calls (served by the
+	// buffered-read-through overlay; clean plain files pass through).
 	Reads int64
 	// Syncs counts application Sync calls.
 	Syncs int64
@@ -62,6 +66,14 @@ type Stats struct {
 	// RawFrames counts frames stored raw by the incompressible-data
 	// bailout (or because the mount's codec is raw).
 	RawFrames int64
+	// ReadsFromBuffer counts ReadAt calls served at least partially from
+	// buffered data (the active partial chunk or in-flight chunks) by the
+	// buffered-read-through overlay.
+	ReadsFromBuffer int64
+	// ReadDrainsAvoided counts ReadAt calls that arrived while the file's
+	// pipeline was dirty (buffered or in-flight chunks outstanding) —
+	// each one is a read that the drain-based path would have stalled on.
+	ReadDrainsAvoided int64
 }
 
 // AggregationRatio returns application writes per backend write, the
@@ -87,22 +99,34 @@ func (s Stats) Codec() metrics.CodecStats {
 	}
 }
 
+// ReadPath returns the buffered-read-through activity as a
+// metrics.ReadPathStats summary.
+func (s Stats) ReadPath() metrics.ReadPathStats {
+	return metrics.ReadPathStats{
+		Reads:         s.Reads,
+		FromBuffer:    s.ReadsFromBuffer,
+		DrainsAvoided: s.ReadDrainsAvoided,
+	}
+}
+
 // Stats returns a snapshot of the mount's counters.
 func (fs *FS) Stats() Stats {
 	return Stats{
-		Opens:         fs.stats.opens.Load(),
-		Writes:        fs.stats.writes.Load(),
-		Reads:         fs.stats.reads.Load(),
-		Syncs:         fs.stats.syncs.Load(),
-		BytesWritten:  fs.stats.bytesWritten.Load(),
-		BytesRead:     fs.stats.bytesRead.Load(),
-		ChunksFlushed: fs.stats.chunksFlushed.Load(),
-		BackendWrites: fs.stats.backendWrites.Load(),
-		BackendBytes:  fs.stats.backendBytes.Load(),
-		PoolWaits:     fs.pool.waits.Load(),
-		CodecBytesIn:  fs.stats.codecBytesIn.Load(),
-		CodecBytesOut: fs.stats.codecBytesOut.Load(),
-		Frames:        fs.stats.frames.Load(),
-		RawFrames:     fs.stats.rawFrames.Load(),
+		Opens:             fs.stats.opens.Load(),
+		Writes:            fs.stats.writes.Load(),
+		Reads:             fs.stats.reads.Load(),
+		Syncs:             fs.stats.syncs.Load(),
+		BytesWritten:      fs.stats.bytesWritten.Load(),
+		BytesRead:         fs.stats.bytesRead.Load(),
+		ChunksFlushed:     fs.stats.chunksFlushed.Load(),
+		BackendWrites:     fs.stats.backendWrites.Load(),
+		BackendBytes:      fs.stats.backendBytes.Load(),
+		PoolWaits:         fs.pool.waits.Load(),
+		CodecBytesIn:      fs.stats.codecBytesIn.Load(),
+		CodecBytesOut:     fs.stats.codecBytesOut.Load(),
+		Frames:            fs.stats.frames.Load(),
+		RawFrames:         fs.stats.rawFrames.Load(),
+		ReadsFromBuffer:   fs.stats.readsFromBuffer.Load(),
+		ReadDrainsAvoided: fs.stats.readDrainsAvoided.Load(),
 	}
 }

@@ -209,3 +209,28 @@ func (c CodecStats) Format() string {
 	return fmt.Sprintf("codec: in=%d out=%d ratio=%.2fx frames=%d raw-frames=%d",
 		c.BytesIn, c.BytesOut, c.Ratio(), c.Frames, c.RawFrames)
 }
+
+// ReadPathStats summarizes the buffered-read-through overlay of a real
+// CRFS mount: how many reads were served from buffered (not yet durable)
+// data, and how many arrived while the write pipeline was busy — each of
+// the latter is a drain stall the pre-overlay read path would have paid.
+type ReadPathStats struct {
+	Reads         int64 // application ReadAt calls
+	FromBuffer    int64 // reads served at least partially from buffered chunks
+	DrainsAvoided int64 // reads that found the pipeline dirty and did not drain it
+}
+
+// BufferHitRate returns the fraction of reads served from buffered data.
+// 0 means every read came from durable bytes (or there were no reads).
+func (r ReadPathStats) BufferHitRate() float64 {
+	if r.Reads == 0 {
+		return 0
+	}
+	return float64(r.FromBuffer) / float64(r.Reads)
+}
+
+// Format renders the summary as a one-line report.
+func (r ReadPathStats) Format() string {
+	return fmt.Sprintf("readpath: reads=%d from-buffer=%d (%.1f%%) drains-avoided=%d",
+		r.Reads, r.FromBuffer, 100*r.BufferHitRate(), r.DrainsAvoided)
+}

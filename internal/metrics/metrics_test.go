@@ -132,3 +132,18 @@ func TestCodecStats(t *testing.T) {
 		t.Errorf("Format = %q, want %q", got, want)
 	}
 }
+
+func TestReadPathStats(t *testing.T) {
+	var zero ReadPathStats
+	if zero.BufferHitRate() != 0 {
+		t.Errorf("zero hit rate = %v, want 0", zero.BufferHitRate())
+	}
+	rp := ReadPathStats{Reads: 200, FromBuffer: 50, DrainsAvoided: 120}
+	if got := rp.BufferHitRate(); got != 0.25 {
+		t.Errorf("BufferHitRate = %v, want 0.25", got)
+	}
+	want := "readpath: reads=200 from-buffer=50 (25.0%) drains-avoided=120"
+	if got := rp.Format(); got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}
