@@ -19,6 +19,14 @@
 // visible:
 //
 //	crfsbench -real -mix -readfrac 0.5 -delay 200us -codec deflate
+//
+// -real -restart benchmarks the other half of the C/R story: the file is
+// first checkpointed through the mount, then read back sequentially (the
+// restart pattern), with -delay applied to every backend read so the
+// read-ahead pipeline's latency hiding is visible. -readahead sets the
+// prefetch depth (0 = synchronous reads):
+//
+//	crfsbench -real -restart -readahead 8 -delay 200us -codec deflate
 package main
 
 import (
@@ -44,11 +52,19 @@ func main() {
 	entropy := flag.Float64("entropy", 0.5, "fraction of incompressible bytes in the -real payload (0..1)")
 	mix := flag.Bool("mix", false, "with -real: interleave reads of already-written data with the writes")
 	readFrac := flag.Float64("readfrac", 0.5, "with -real -mix: fraction of operations that are reads (0..1)")
-	delay := flag.Duration("delay", 0, "with -real: synthetic backend write latency (e.g. 200us)")
+	delay := flag.Duration("delay", 0, "with -real: synthetic backend latency (e.g. 200us)")
+	restart := flag.Bool("restart", false, "with -real: write the file, then benchmark sequential restart reads")
+	readAhead := flag.Int("readahead", 0, "with -real -restart: read-ahead depth in chunks/frames (0 disables)")
 	flag.Parse()
 
 	if *real {
-		if err := realBench(*codecName, *size, *bs, *entropy, *mix, *readFrac, *delay); err != nil {
+		var err error
+		if *restart {
+			err = restartBench(*codecName, *size, *bs, *entropy, *readAhead, *delay)
+		} else {
+			err = realBench(*codecName, *size, *bs, *entropy, *mix, *readFrac, *delay)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -157,5 +173,99 @@ func realBench(codecName string, size int64, bs int, entropy float64, mix bool, 
 	if rp := st.ReadPath(); rp.Reads > 0 {
 		fmt.Println(rp.Format())
 	}
+	return nil
+}
+
+// restartBench measures the restart read pipeline: a checkpoint image is
+// written through one mount, then read back sequentially through a fresh
+// mount with the given read-ahead depth, every backend read paying the
+// synthetic latency. Comparing -readahead 0 against a positive depth
+// isolates what the prefetch pipeline hides.
+func restartBench(codecName string, size int64, bs int, entropy float64, readAhead int, delay time.Duration) error {
+	if entropy < 0 || entropy > 1 {
+		return fmt.Errorf("crfsbench: -entropy %v out of range [0,1]", entropy)
+	}
+	if bs <= 0 || size <= 0 {
+		return fmt.Errorf("crfsbench: -size and -bs must be positive")
+	}
+	if readAhead < 0 {
+		return fmt.Errorf("crfsbench: -readahead must be >= 0")
+	}
+	cdc, err := crfs.LookupCodec(codecName)
+	if err != nil {
+		return err
+	}
+	back := memfs.New(memfs.WithReadDelay(delay))
+
+	// Checkpoint phase: land the image (write latency is not the point
+	// here; the backend delays reads only).
+	wfs, err := crfs.Mount(back, crfs.Options{Codec: cdc})
+	if err != nil {
+		return err
+	}
+	const poolLen = crfs.DefaultChunkSize
+	pool := make([]byte, poolLen+int64(bs))
+	rng := rand.New(rand.NewSource(1))
+	rng.Read(pool)
+	buf := make([]byte, bs)
+	nrand := int(float64(bs) * entropy)
+	w, err := wfs.Open("restart.img", crfs.WriteOnly|crfs.Create)
+	if err != nil {
+		wfs.Unmount()
+		return err
+	}
+	for off := int64(0); off < size; off += int64(bs) {
+		copy(buf[:nrand], pool[off%poolLen:])
+		if _, err := w.WriteAt(buf, off); err != nil {
+			w.Close()
+			wfs.Unmount()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		wfs.Unmount()
+		return err
+	}
+	if err := wfs.Unmount(); err != nil {
+		return err
+	}
+
+	// Restart phase: sequential read-back, timed.
+	fs, err := crfs.Mount(back, crfs.Options{Codec: cdc, ReadAhead: readAhead})
+	if err != nil {
+		return err
+	}
+	f, err := fs.Open("restart.img", crfs.ReadOnly)
+	if err != nil {
+		fs.Unmount()
+		return err
+	}
+	start := time.Now()
+	var total int64
+	for off := int64(0); off < size; {
+		n, err := f.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			f.Close()
+			fs.Unmount()
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		total += int64(n)
+		off += int64(n)
+	}
+	el := time.Since(start).Seconds()
+	if err := f.Close(); err != nil {
+		fs.Unmount()
+		return err
+	}
+	if err := fs.Unmount(); err != nil {
+		return err
+	}
+	st := fs.Stats()
+	fmt.Printf("restart: codec=%s readahead=%d delay=%v read %d bytes in %.3fs (%.1f MB/s)\n",
+		cdc.Name(), readAhead, delay, total, el, float64(total)/el/(1<<20))
+	fmt.Println(st.Prefetch().Format())
 	return nil
 }

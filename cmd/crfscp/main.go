@@ -5,11 +5,18 @@
 // Usage:
 //
 //	crfscp [-chunk 4194304] [-pool 16777216] [-threads 4] [-bs 8192] [-codec raw|deflate] SRC... DSTDIR
+//	crfscp -restore [-readahead 8] SRC... DSTDIR
 //
 // With -codec deflate the destination files are CRFS frame containers:
 // chunks are compressed in parallel on the IO workers, cutting the bytes
 // written to the destination filesystem. Read them back through a CRFS
 // mount (any codec setting), which decodes containers transparently.
+//
+// -restore runs the opposite direction (the restart half of C/R): each
+// SRC is read sequentially *through* a CRFS mount over its directory —
+// decoding frame containers transparently, with -readahead chunks/frames
+// prefetched in parallel on the IO workers — and written to DSTDIR as a
+// plain file.
 package main
 
 import (
@@ -30,6 +37,8 @@ func main() {
 	threads := flag.Int("threads", crfs.DefaultIOThreads, "CRFS IO threads")
 	bs := flag.Int("bs", 8192, "copy block size (simulates small checkpoint writes)")
 	codecName := flag.String("codec", "raw", "chunk codec: "+strings.Join(crfs.CodecNames(), "|"))
+	restore := flag.Bool("restore", false, "restore direction: read SRC files through a CRFS mount, write plain copies to DSTDIR")
+	readAhead := flag.Int("readahead", 8, "with -restore: read-ahead depth in chunks/frames (0 disables)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
@@ -40,6 +49,12 @@ func main() {
 	srcs := args[:len(args)-1]
 	if err := os.MkdirAll(dst, 0o755); err != nil {
 		fatal(err)
+	}
+	if *restore {
+		if err := restoreAll(srcs, dst, *bs, *chunk, *pool, *threads, *readAhead); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	cdc, err := crfs.LookupCodec(*codecName)
 	if err != nil {
@@ -101,6 +116,86 @@ func copyOne(fs *crfs.FS, src string, bs int) (int64, error) {
 		if err != nil {
 			out.Close()
 			return off, err
+		}
+	}
+	return off, out.Close()
+}
+
+// restoreAll copies each src out of a CRFS mount over its directory into
+// dst as a plain file. Mounts are shared per source directory, so the
+// per-mount stats aggregate all files restored from that directory.
+func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, readAhead int) error {
+	mounts := make(map[string]*crfs.FS)
+	defer func() {
+		for _, fs := range mounts {
+			fs.Unmount()
+		}
+	}()
+	start := time.Now()
+	var total int64
+	for _, src := range srcs {
+		dir := filepath.Dir(src)
+		fs, ok := mounts[dir]
+		if !ok {
+			var err error
+			fs, err = crfs.MountDir(dir, crfs.Options{
+				ChunkSize: chunk, BufferPoolSize: pool, IOThreads: threads, ReadAhead: readAhead,
+			})
+			if err != nil {
+				return err
+			}
+			mounts[dir] = fs
+		}
+		n, err := restoreOne(fs, filepath.Base(src), filepath.Join(dst, filepath.Base(src)), bs)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	el := time.Since(start).Seconds()
+	fmt.Printf("restored %d bytes in %.3fs (%.1f MB/s)\n", total, el, float64(total)/el/(1<<20))
+	for dir, fs := range mounts {
+		if err := fs.Unmount(); err != nil {
+			delete(mounts, dir)
+			return err
+		}
+		delete(mounts, dir)
+		st := fs.Stats()
+		fmt.Printf("%s: reads=%d bytes=%d, %s\n", dir, st.Reads, st.BytesRead, st.Prefetch().Format())
+	}
+	return nil
+}
+
+// restoreOne streams one file out of the mount into a plain destination
+// file with sequential bs-sized reads — the access pattern the restart
+// read pipeline accelerates.
+func restoreOne(fs *crfs.FS, name, dst string, bs int) (int64, error) {
+	in, err := fs.Open(name, crfs.ReadOnly)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, bs)
+	var off int64
+	for {
+		n, rerr := in.ReadAt(buf, off)
+		if n > 0 {
+			if _, werr := out.Write(buf[:n]); werr != nil {
+				out.Close()
+				return off, werr
+			}
+			off += int64(n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			out.Close()
+			return off, rerr
 		}
 	}
 	return off, out.Close()

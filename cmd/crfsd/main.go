@@ -33,6 +33,7 @@ func main() {
 	pool := flag.Int64("pool", crfs.DefaultBufferPoolSize, "buffer pool size")
 	threads := flag.Int("threads", crfs.DefaultIOThreads, "IO threads")
 	codecName := flag.String("codec", "raw", "chunk codec: "+strings.Join(crfs.CodecNames(), "|"))
+	readAhead := flag.Int("readahead", 8, "read-ahead depth for GET streams, in chunks/frames (0 disables)")
 	flag.Parse()
 
 	cdc, err := crfs.LookupCodec(*codecName)
@@ -41,6 +42,7 @@ func main() {
 	}
 	fs, err := crfs.MountDir(*dir, crfs.Options{
 		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads, Codec: cdc,
+		ReadAhead: *readAhead,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -49,8 +51,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s)",
-		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name())
+	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s readahead=%d)",
+		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name(), *readAhead)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {

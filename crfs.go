@@ -24,6 +24,14 @@
 // transparently, and incompressible chunks fall back to raw frames. The
 // default raw codec keeps the seed passthrough behavior byte-identical.
 //
+// Restart — the sequential read-back of a checkpoint image — has its own
+// pipeline (Options.ReadAhead): a handle detected reading sequentially
+// triggers prefetch of the next chunks or frames, fetched and decoded in
+// parallel on the same IO workers, so restart throughput is no longer
+// bounded by single-stream backend latency. Prefetched bytes are
+// invalidated by writes, truncates, and renames, and buffered writes
+// always shadow them, so read results never change — only their cost.
+//
 // Quick start:
 //
 //	backend, _ := crfs.DirBackend("/mnt/scratch")

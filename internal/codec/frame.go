@@ -42,6 +42,13 @@ const (
 	// logical sizes that callers might allocate for. It also keeps
 	// Off+RawLen safely inside int64.
 	MaxLogicalOff = 1 << 56
+	// MaxSeq bounds a frame's sequence number the same way: sequence
+	// numbers count flushed chunks, so 2^56 can never be reached by a
+	// real writer, while a crafted value near MaxUint64 would overflow
+	// the scanner's next-sequence computation to 0 and make every frame
+	// appended afterwards sort below the existing ones — silently
+	// resurrecting overwritten data.
+	MaxSeq = 1 << 56
 )
 
 // Magic identifies a CRFS frame container ("CRFS Chunk").
@@ -98,6 +105,9 @@ func ParseHeader(b []byte) (Header, error) {
 	if h.Off < 0 || h.Off > MaxLogicalOff {
 		return Header{}, fmt.Errorf("%w: implausible logical offset %d", ErrCorrupt, h.Off)
 	}
+	if h.Seq > MaxSeq {
+		return Header{}, fmt.Errorf("%w: implausible sequence number %d", ErrCorrupt, h.Seq)
+	}
 	return h, nil
 }
 
@@ -118,6 +128,9 @@ func EncodeFrame(c Codec, seq uint64, off int64, src, dst []byte) ([]byte, Heade
 	}
 	if off < 0 || off > MaxLogicalOff {
 		return dst, Header{}, fmt.Errorf("codec: frame offset %d out of range [0, %d]", off, int64(MaxLogicalOff))
+	}
+	if seq > MaxSeq {
+		return dst, Header{}, fmt.Errorf("codec: frame sequence %d exceeds %d", seq, uint64(MaxSeq))
 	}
 	h := Header{Codec: c.ID(), Seq: seq, Off: off, RawLen: uint32(len(src))}
 	base := len(dst)

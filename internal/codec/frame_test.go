@@ -12,9 +12,9 @@ import (
 // add migration instead of editing the expectation.
 func TestHeaderGoldenBytes(t *testing.T) {
 	h := Header{
-		Codec:  DeflateID, // 0x01
-		Seq:    0x0123456789abcdef,
-		Off:    0x0007060504030201, // within MaxLogicalOff
+		Codec:  DeflateID,           // 0x01
+		Seq:    0x00234567_89abcdef, // within MaxSeq
+		Off:    0x0007060504030201,  // within MaxLogicalOff
 		RawLen: 0xaabbccdd,
 		EncLen: 0x11223344,
 	}
@@ -25,7 +25,7 @@ func TestHeaderGoldenBytes(t *testing.T) {
 		"01" + // version 1
 		"01" + // codec id: deflate
 		"0000" + // reserved
-		"efcdab8967452301" + // seq, little-endian
+		"efcdab8967452300" + // seq, little-endian
 		"0102030405060700" + // logical offset, little-endian
 		"ddccbbaa" + // raw length, little-endian
 		"44332211" // encoded length, little-endian
@@ -65,6 +65,14 @@ func TestParseHeaderRejects(t *testing.T) {
 	PutHeader(huge, Header{Codec: RawID, Off: 1 << 62})
 	if _, err := ParseHeader(huge); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("implausible offset: %v, want ErrCorrupt", err)
+	}
+	// Sequence numbers near MaxUint64 would overflow the container
+	// scanner's nextSeq computation to zero (fuzz-found); they are as
+	// implausible as a 2^62 offset and must be rejected the same way.
+	overSeq := make([]byte, HeaderSize)
+	PutHeader(overSeq, Header{Codec: RawID, Seq: ^uint64(0)})
+	if _, err := ParseHeader(overSeq); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("implausible seq: %v, want ErrCorrupt", err)
 	}
 }
 

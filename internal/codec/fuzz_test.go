@@ -1,0 +1,106 @@
+package codec
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// frameBytes builds a well-formed frame for seeding the fuzzers.
+func frameBytes(t testing.TB, c Codec, seq uint64, off int64, payload []byte) []byte {
+	t.Helper()
+	frame, _, err := EncodeFrame(c, seq, off, payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// FuzzFrameDecode hammers the frame header and payload parsers with
+// arbitrary bytes: truncated headers, corrupt magic, lying length
+// fields, and absurd offsets must all fail cleanly — no panics, no
+// oversized allocations driven by attacker-controlled lengths, and no
+// decoded output that disagrees with its own header.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CRF"))                       // short of even the magic
+	f.Add([]byte("NOPE nothing like a frame")) // magic mismatch
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize))
+	f.Add(frameBytes(f, Raw(), 0, 0, []byte("abcd")))
+	f.Add(frameBytes(f, Raw(), 7, 4096, bytes.Repeat([]byte{0xAA}, 100)))
+	f.Add(frameBytes(f, Deflate(), 1, 0, bytes.Repeat([]byte("compressible "), 40)))
+	// Lying EncLen: header promises more payload than follows.
+	lying := frameBytes(f, Raw(), 0, 0, []byte("abcdefgh"))
+	f.Add(lying[:HeaderSize+3])
+	// Version from the future.
+	future := frameBytes(f, Raw(), 0, 0, []byte("x"))
+	future = bytes.Clone(future)
+	future[4] = 99
+	f.Add(future)
+	// Deflate codec ID over garbage payload.
+	garble := bytes.Clone(frameBytes(f, Raw(), 0, 0, []byte("garbagegarbage")))
+	garble[5] = byte(DeflateID)
+	f.Add(garble)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := ParseHeader(b)
+		if err != nil {
+			if !errors.Is(err, ErrNotFramed) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("ParseHeader: unexpected error class %v", err)
+			}
+			return
+		}
+		if h.Off < 0 || h.Off > MaxLogicalOff {
+			t.Fatalf("ParseHeader accepted implausible offset %d", h.Off)
+		}
+		payload := b[HeaderSize:]
+		if int64(len(payload)) > int64(h.EncLen) {
+			payload = payload[:h.EncLen]
+		}
+		raw, err := DecodeFrame(h, payload, nil)
+		if err != nil {
+			return // malformed payloads must error, and did
+		}
+		if len(raw) != int(h.RawLen) {
+			t.Fatalf("DecodeFrame returned %d bytes, header says %d", len(raw), h.RawLen)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip checks that whatever bytes an application writes,
+// Encode/Decode is the identity through both codecs — including the
+// incompressible raw bailout path.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{}, int64(0))
+	f.Add([]byte("hello checkpoint"), int64(4096))
+	f.Add(bytes.Repeat([]byte{0}, 1000), int64(0))
+	f.Add(bytes.Repeat([]byte("ab"), 500), int64(1<<40))
+	f.Fuzz(func(t *testing.T, payload []byte, off int64) {
+		if off < 0 || off > MaxLogicalOff {
+			return
+		}
+		for _, c := range []Codec{Raw(), Deflate()} {
+			frame, hdr, err := EncodeFrame(c, 3, off, payload, nil)
+			if err != nil {
+				t.Fatalf("%s: EncodeFrame: %v", c.Name(), err)
+			}
+			if len(frame) > HeaderSize+len(payload) {
+				t.Fatalf("%s: frame grew the payload: %d > %d", c.Name(), len(frame), HeaderSize+len(payload))
+			}
+			reparsed, err := ParseHeader(frame)
+			if err != nil {
+				t.Fatalf("%s: reparse own header: %v", c.Name(), err)
+			}
+			if reparsed != hdr {
+				t.Fatalf("%s: header round trip: %+v != %+v", c.Name(), reparsed, hdr)
+			}
+			raw, err := DecodeFrame(hdr, frame[HeaderSize:], nil)
+			if err != nil {
+				t.Fatalf("%s: DecodeFrame: %v", c.Name(), err)
+			}
+			if !bytes.Equal(raw, payload) {
+				t.Fatalf("%s: payload round trip mismatch", c.Name())
+			}
+		}
+	})
+}

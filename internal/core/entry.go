@@ -24,6 +24,11 @@ type fileEntry struct {
 	// writer must block on the buffer pool.
 	writeMu sync.Mutex
 
+	// truncMu serializes truncation (exclusive) against the overlay read
+	// path (shared): see readAt. Lock order: truncMu before writeMu
+	// before mu/decMu; the prefetcher's mutex is independent.
+	truncMu sync.RWMutex
+
 	// mu guards everything below. cond (on mu) is signalled by IO workers
 	// when completeChunks advances and by close when refs drops.
 	mu   sync.Mutex
@@ -66,6 +71,10 @@ type fileEntry struct {
 	decBuf  []byte
 	decHave bool
 	decGen  uint64
+
+	// pf is the entry's read-ahead state (restart read pipeline), nil
+	// when Options.ReadAhead is 0. Immutable after newFileEntry.
+	pf *prefetcher
 }
 
 // frameLoc locates one frame inside a container: its parsed header plus
@@ -92,6 +101,9 @@ func newFileEntry(fs *FS, name string, backend backendHandle, chunkSize int64) *
 		agg:         chunker.NewFileAgg(chunkSize),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	if fs.opts.ReadAhead > 0 {
+		e.pf = newPrefetcher(fs, e)
+	}
 	return e
 }
 
@@ -109,13 +121,24 @@ func (e *fileEntry) write(p []byte, off int64) (int, error) {
 	}
 	e.mu.Unlock()
 
+	if e.pf != nil && len(p) > 0 {
+		// Invalidate read-ahead before the first byte enters the pipeline:
+		// a prefetched block overlapping this write would serve stale base
+		// bytes once the write's chunk retires from the overlay.
+		e.pf.invalidate()
+	}
+
 	ops := e.agg.Write(off, int64(len(p)), nil)
 	for _, op := range ops {
 		switch op.Kind {
 		case chunker.OpNewChunk:
 			// May block (pool backpressure); under pressure the mount
-			// flushes other files' partial chunks to free buffers.
-			c := e.fs.pool.get(func() { e.fs.flushPartials(e) })
+			// flushes other files' partial chunks and drops read-ahead
+			// caches to free buffers.
+			c := e.fs.pool.get(func() {
+				e.fs.flushPartials(e)
+				e.fs.dropPrefetched()
+			})
 			c.entry = e
 			e.mu.Lock()
 			e.active = c
@@ -214,6 +237,17 @@ func (e *fileEntry) waitDrained() error {
 // base. complete returns the retired chunks; the caller must unpin each
 // (their pipeline references) outside the lock.
 func (e *fileEntry) complete(c *chunk, err error) []*chunk {
+	if e.pf != nil {
+		// Retirement hands this chunk's extent from the overlay to the
+		// durable base, so any prefetched base bytes predate it — including
+		// bytes fetched by a job that was scheduled *during* the write
+		// (after write()'s invalidate but before the payload was buffered,
+		// a window in which the pipeline still looks clean and the
+		// generation already looks current). Invalidating here, strictly
+		// before the in-flight removal below, closes that window: a reader
+		// that plans after retirement finds the cache already empty.
+		e.pf.invalidate()
+	}
 	e.mu.Lock()
 	e.doneChunks++
 	if err != nil && e.firstErr == nil {
@@ -394,7 +428,17 @@ func (e *fileEntry) planRead(off, end int64) (plan readPlan, size int64, framed,
 // Precedence, lowest first: the durable base (backend bytes, or decoded
 // frames for a container), the in-flight chunks in flush order, the
 // active partial chunk. A clean plain file stays pure passthrough.
+//
+// truncMu serializes reads against truncation: a truncate mutates the
+// entry's logical state and the backend bytes non-atomically, and a read
+// interleaving the two would plan against the old frame index or size
+// while the backend bytes are already gone — surfacing phantom zeros,
+// phantom errors, or (worst) old frame headers reinterpreted over a
+// rewritten container. Reads take it shared, so they never serialize
+// against each other; only the rare truncate excludes them.
 func (e *fileEntry) readAt(p []byte, off int64) (int, error) {
+	e.truncMu.RLock()
+	defer e.truncMu.RUnlock()
 	plan, size, framed, dirty, err := e.planRead(off, off+int64(len(p)))
 	defer plan.release()
 	if err != nil {
@@ -406,8 +450,10 @@ func (e *fileEntry) readAt(p []byte, off int64) (int, error) {
 	if len(plan.overlays) > 0 {
 		e.fs.stats.readsFromBuffer.Add(1)
 	}
-	if !framed && !dirty && len(plan.overlays) == 0 {
+	if !framed && !dirty && len(plan.overlays) == 0 && e.pf == nil {
 		// Clean plain file: seed passthrough, byte-identical semantics.
+		// (With read-ahead enabled the generic path below runs instead,
+		// so clean sequential restart reads can hit the prefetch cache.)
 		return e.backendFile.ReadAt(p, off)
 	}
 	if off >= size {
@@ -453,8 +499,12 @@ func (e *fileEntry) readAt(p []byte, off int64) (int, error) {
 
 // readPlainInto fills p from the backend at off, reading bytes the
 // backend has and zero-filling the rest (buffered-but-unlanded extents
-// read as holes until the overlays above patch them in).
+// read as holes until the overlays above patch them in). With read-ahead
+// enabled, chunk-aligned segments are served from the prefetch cache.
 func (e *fileEntry) readPlainInto(p []byte, off int64) error {
+	if e.pf != nil {
+		return e.pf.readBase(p, off)
+	}
 	n, err := e.backendFile.ReadAt(p, off)
 	if err != nil && err != io.EOF {
 		return err
@@ -501,6 +551,20 @@ func (e *fileEntry) decodeFrame(fr frameLoc) ([]byte, error) {
 	}
 	gen := e.decGen
 	e.decMu.Unlock()
+	if e.pf != nil {
+		if raw := e.pf.takeFrame(fr.pos); raw != nil {
+			// A worker already fetched and decoded this frame; promote it
+			// into the one-frame cache (decoded frames are immutable, so
+			// ownership transfers) under the same generation guard as a
+			// fresh decode.
+			e.decMu.Lock()
+			if e.decGen == gen {
+				e.decBuf, e.decPos, e.decHave = raw, fr.pos, true
+			}
+			e.decMu.Unlock()
+			return raw, nil
+		}
+	}
 	enc := make([]byte, fr.hdr.EncLen)
 	if _, err := e.backendFile.ReadAt(enc, fr.pos+codec.HeaderSize); err != nil {
 		return nil, fmt.Errorf("core: frame payload at %d: %w", fr.pos, err)
@@ -526,6 +590,13 @@ func (e *fileEntry) decodeFrame(fr frameLoc) ([]byte, error) {
 // arbitrary logical length would require rewriting frames, which no
 // checkpoint workload needs.
 func (e *fileEntry) truncate(size int64) error {
+	e.truncMu.Lock()
+	defer e.truncMu.Unlock()
+	if e.pf != nil {
+		// Any truncate outcome (shrink, reset, extend) can change what the
+		// base reads as; drop read-ahead before the backend changes.
+		e.pf.invalidate()
+	}
 	e.mu.Lock()
 	framed, logical := e.framed, e.logicalSize
 	name := e.name
@@ -573,6 +644,18 @@ func (e *fileEntry) resetContainer() error {
 	if err := e.waitDrained(); err != nil {
 		return err
 	}
+	// Readers are excluded for the whole reset by truncMu (the caller,
+	// truncate, holds it) — that exclusion, not the generation, is what
+	// prevents a read from planning against pre-reset frames and then
+	// touching post-truncate bytes. Clearing the one-frame decode cache
+	// is still required (a post-reset frame can land at a cached pos and
+	// alias it), and the generation bump keeps any decode that is *not*
+	// under truncMu — a prefetch job's publish racing this reset — from
+	// repopulating caches with pre-reset data.
+	e.decMu.Lock()
+	e.decHave = false
+	e.decGen++
+	e.decMu.Unlock()
 	if err := e.backendFile.Truncate(0); err != nil {
 		return err
 	}
@@ -586,10 +669,6 @@ func (e *fileEntry) resetContainer() error {
 	e.appendOff = 0
 	e.logicalSize = 0
 	e.mu.Unlock()
-	e.decMu.Lock()
-	e.decHave = false
-	e.decGen++
-	e.decMu.Unlock()
 	return nil
 }
 

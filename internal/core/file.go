@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"crfs/internal/vfs"
@@ -17,6 +18,13 @@ type file struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// Sequential-read detection (restart read pipeline). Detection is
+	// per-handle — two restart readers interleaving offsets on shared
+	// handles would defeat any shared-state detector — while the
+	// prefetched data itself is cached on the shared entry. Guarded by mu.
+	seqEnd int64 // end offset of the last read
+	seqRun int   // consecutive reads that continued exactly at seqEnd
 }
 
 func (f *file) Name() string { return f.name }
@@ -70,7 +78,32 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	n, err := f.entry.readAt(p, off)
 	f.fs.stats.reads.Add(1)
 	f.fs.stats.bytesRead.Add(int64(n))
+	if n > 0 && (err == nil || err == io.EOF) {
+		f.noteRead(off, int64(n))
+	}
 	return n, err
+}
+
+// noteRead feeds the handle's sequential detector and, once seqThreshold
+// back-to-back sequential reads are seen, schedules read-ahead of what
+// follows on the IO workers.
+func (f *file) noteRead(off, n int64) {
+	pf := f.entry.pf
+	if pf == nil {
+		return
+	}
+	f.mu.Lock()
+	if off == f.seqEnd {
+		f.seqRun++
+	} else {
+		f.seqRun = 1
+	}
+	f.seqEnd = off + n
+	run := f.seqRun
+	f.mu.Unlock()
+	if run >= seqThreshold {
+		pf.schedule(off + n)
+	}
 }
 
 // Truncate implements vfs.File.

@@ -14,7 +14,11 @@ type FS struct {
 	opts    Options
 	pool    *bufferPool
 	queue   chan *chunk
-	encBufs sync.Pool // *[]byte frame encode scratch, one per in-flight encode
+	// prefetchq feeds read-ahead jobs to the same IO workers that drain
+	// queue; workers prefer write chunks, and producers never block on it
+	// (a full queue drops the job — read-ahead is best-effort).
+	prefetchq chan prefetchJob
+	encBufs   sync.Pool // *[]byte frame encode scratch, one per in-flight encode
 
 	mu      sync.Mutex
 	files   map[string]*fileEntry // open-file hash table, keyed by clean path
@@ -62,6 +66,7 @@ func Mount(backend vfs.FS, opts Options) (*FS, error) {
 	}
 	fs.statCache = make(map[string]statProbe)
 	fs.queue = make(chan *chunk, fs.pool.total)
+	fs.prefetchq = make(chan prefetchJob, fs.pool.total+opts.ReadAhead)
 	fs.workers.Add(opts.IOThreads)
 	for i := 0; i < opts.IOThreads; i++ {
 		go fs.ioWorker()
@@ -79,28 +84,56 @@ func (fs *FS) Backend() vfs.FS { return fs.backend }
 // file at its tagged offset, mark completion, recycle the buffer (§IV-B,
 // "Work Queue and IO Throttling"). Framed entries take the codec path:
 // encode, then append the frame — the expensive encode runs concurrently
-// across workers, exactly like the backend writes it precedes.
+// across workers, exactly like the backend writes it precedes. The same
+// workers also drain the read-ahead queue (restart prefetch); the
+// non-blocking first select gives write chunks strict priority, so a
+// checkpoint stream is never stalled behind restart read-ahead.
 func (fs *FS) ioWorker() {
 	defer fs.workers.Done()
-	for c := range fs.queue {
-		fs.stats.queueDepth.Add(-1)
-		entry := c.entry
-		fill := c.fill.Load()
-		var err error
-		if entry.framed {
-			err = fs.writeFramed(entry, c)
-		} else {
-			_, err = entry.backendFile.WriteAt(c.buf[:fill], c.start)
-			fs.stats.backendWrites.Add(1)
-			fs.stats.backendBytes.Add(fill)
+	for {
+		select {
+		case c, ok := <-fs.queue:
+			if !ok {
+				return
+			}
+			fs.writeChunk(c)
+			continue
+		default:
 		}
-		// Retire what this completion unblocks (in-flight prefix of done
-		// chunks), then drop those pipeline references; a reader still
-		// copying from a chunk holds a pin, and the last unpin recycles
-		// the buffer.
-		for _, rc := range entry.complete(c, err) {
-			rc.unpin()
+		select {
+		case c, ok := <-fs.queue:
+			if !ok {
+				return
+			}
+			fs.writeChunk(c)
+		case j, ok := <-fs.prefetchq:
+			if !ok {
+				return
+			}
+			fs.runPrefetch(j)
 		}
+	}
+}
+
+// writeChunk lands one aggregation chunk on the backend and retires it.
+func (fs *FS) writeChunk(c *chunk) {
+	fs.stats.queueDepth.Add(-1)
+	entry := c.entry
+	fill := c.fill.Load()
+	var err error
+	if entry.framed {
+		err = fs.writeFramed(entry, c)
+	} else {
+		_, err = entry.backendFile.WriteAt(c.buf[:fill], c.start)
+		fs.stats.backendWrites.Add(1)
+		fs.stats.backendBytes.Add(fill)
+	}
+	// Retire what this completion unblocks (in-flight prefix of done
+	// chunks), then drop those pipeline references; a reader still
+	// copying from a chunk holds a pin, and the last unpin recycles
+	// the buffer.
+	for _, rc := range entry.complete(c, err) {
+		rc.unpin()
 	}
 }
 
@@ -415,6 +448,11 @@ func (fs *FS) releaseEntry(entry *fileEntry) error {
 	}
 	entry.mu.Unlock()
 	fs.mu.Unlock()
+	if entry.pf != nil {
+		// Return the read-ahead cache's pool chunks before the backend
+		// handle goes away; in-flight jobs die on the generation bump.
+		entry.pf.invalidate()
+	}
 	fs.invalidateProbe(name)
 	return entry.backendFile.Close()
 }
@@ -543,6 +581,12 @@ func (fs *FS) renameLocked(oldKey, newKey, oldName, newName string, entry *fileE
 		entry.mu.Lock()
 		entry.name = newKey
 		entry.mu.Unlock()
+		if entry.pf != nil {
+			// Backends whose handles do not follow a rename may serve the
+			// new path's bytes from here on; prefetched extents of the old
+			// identity must not survive the switch.
+			entry.pf.invalidate()
+		}
 	}
 	return nil
 }
@@ -583,37 +627,73 @@ func (fs *FS) Stat(name string) (vfs.FileInfo, error) {
 // one header per frame; results are cached per path (validated against
 // backend size and mtime) so stat-heavy walks pay the probe once per file,
 // for plain and framed files alike.
+//
+// The probe re-stats the file after scanning: a direct backend write
+// landing between the caller's Stat and the scan would otherwise produce
+// a result derived from the *new* bytes (or a scan bounded by the stale
+// size) cached under the *old* identity — a cache entry that is wrong
+// the moment it is written and, worse, self-consistent on later hits. A
+// changed identity retries against the fresh one; a file that keeps
+// churning returns best-effort without caching.
 func (fs *FS) sniffLogicalSize(name string, info vfs.FileInfo) (int64, bool) {
 	key := vfs.Clean(name)
-	mod := info.ModTime.UnixNano()
-	fs.statMu.Lock()
-	if p, ok := fs.statCache[key]; ok && p.size == info.Size && p.modTime == mod {
+	for attempt := 0; ; attempt++ {
+		mod := info.ModTime.UnixNano()
+		fs.statMu.Lock()
+		if p, ok := fs.statCache[key]; ok && p.size == info.Size && p.modTime == mod {
+			fs.statMu.Unlock()
+			return p.logical, p.framed
+		}
 		fs.statMu.Unlock()
-		return p.logical, p.framed
-	}
-	fs.statMu.Unlock()
 
-	// Negative results (plain files, unprobeable files) are cached too:
-	// a stat-heavy walk must not re-open every such file on every pass.
-	probe := statProbe{size: info.Size, modTime: mod, logical: info.Size}
-	if f, err := fs.backend.Open(key, vfs.ReadOnly); err == nil {
-		if _, logical, _, _, ok, perr := probeContainer(f, info.Size); perr == nil && ok {
-			probe.logical, probe.framed = logical, true
+		// Negative results (plain files, unprobeable files) are cached too:
+		// a stat-heavy walk must not re-open every such file on every pass.
+		probe := statProbe{size: info.Size, modTime: mod, logical: info.Size}
+		if f, err := fs.backend.Open(key, vfs.ReadOnly); err == nil {
+			if _, logical, _, _, ok, perr := probeContainer(f, info.Size); perr == nil && ok {
+				probe.logical, probe.framed = logical, true
+			}
+			f.Close()
 		}
-		f.Close()
-	}
-	fs.statMu.Lock()
-	if len(fs.statCache) >= 4096 {
-		// Bounded: evict one arbitrary entry rather than wiping the map,
-		// so walks over trees larger than the bound keep a high hit rate.
-		for k := range fs.statCache {
-			delete(fs.statCache, k)
-			break
+		if after, err := fs.backend.Stat(key); err == nil &&
+			(after.Size != info.Size || after.ModTime.UnixNano() != mod) {
+			if attempt < 2 {
+				info = after
+				continue
+			}
+			return probe.logical, probe.framed // churning; don't cache
+		} else if err != nil {
+			return probe.logical, probe.framed // vanished mid-probe; don't cache
 		}
+		fs.statMu.Lock()
+		if len(fs.statCache) >= 4096 {
+			// Bounded: evict one arbitrary entry rather than wiping the map,
+			// so walks over trees larger than the bound keep a high hit rate.
+			for k := range fs.statCache {
+				delete(fs.statCache, k)
+				break
+			}
+		}
+		fs.statCache[key] = probe
+		fs.statMu.Unlock()
+		return probe.logical, probe.framed
 	}
-	fs.statCache[key] = probe
-	fs.statMu.Unlock()
-	return probe.logical, probe.framed
+}
+
+// InvalidateStatCache drops the cached closed-file probe results for the
+// given paths (all of them when none are given). The cache is normally
+// validated by backend size and mtime; a caller that mutates files
+// directly in the backend — behind the mount's back — on a backend with
+// coarse or frozen timestamps can use this to force fresh probes, the
+// same escape hatch NFS-style attribute caches provide.
+func (fs *FS) InvalidateStatCache(names ...string) {
+	if len(names) == 0 {
+		fs.statMu.Lock()
+		clear(fs.statCache)
+		fs.statMu.Unlock()
+		return
+	}
+	fs.invalidateProbe(names...)
 }
 
 // invalidateProbe drops a path's cached closed-file probe; called when
@@ -757,11 +837,15 @@ func (fs *FS) Unmount() error {
 		if err := e.waitDrained(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		if e.pf != nil {
+			e.pf.invalidate()
+		}
 		if err := e.backendFile.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	close(fs.queue)
+	close(fs.prefetchq)
 	fs.workers.Wait()
 	return firstErr
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"crfs/internal/codec"
+)
+
+// fuzzHandle serves a byte slice through the backendHandle interface and
+// records the highest byte offset any read requested, so the fuzzer can
+// assert the prober never reaches past the size it was told.
+type fuzzHandle struct {
+	data   []byte
+	maxReq int64
+}
+
+func (h *fuzzHandle) ReadAt(p []byte, off int64) (int, error) {
+	if end := off + int64(len(p)); end > h.maxReq {
+		h.maxReq = end
+	}
+	if off < 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if off >= int64(len(h.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *fuzzHandle) WriteAt(p []byte, off int64) (int, error) { panic("probe must not write") }
+func (h *fuzzHandle) Truncate(size int64) error                { panic("probe must not truncate") }
+func (h *fuzzHandle) Sync() error                              { panic("probe must not sync") }
+func (h *fuzzHandle) Close() error                             { return nil }
+
+// containerBytes builds a valid container from (off, payload) extents.
+func containerBytes(t testing.TB, c codec.Codec, extents ...[]byte) []byte {
+	t.Helper()
+	var out []byte
+	var off int64
+	for i, p := range extents {
+		frame, _, err := codec.EncodeFrame(c, uint64(i), off, p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, frame...)
+		off += int64(len(p))
+	}
+	return out
+}
+
+// FuzzProbeContainer throws arbitrary file contents at the container
+// prober that Open, Stat, and Truncate all route through. Whatever the
+// bytes — truncated headers, corrupt magic, frames whose lengths lie,
+// overlapping or absurd offsets — the probe must never panic, never
+// read past the size it was given plus one header, and, when it does
+// accept a container, report an index consistent with the raw bytes.
+func FuzzProbeContainer(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("plain old checkpoint data, no frames here"))
+	f.Add([]byte("CRFC"))                                    // magic, then nothing
+	f.Add(bytes.Repeat([]byte{0x00}, codec.HeaderSize))      // no magic
+	f.Add(containerBytes(f, codec.Raw(), []byte("abcdefg"))) // 1-frame container
+	f.Add(containerBytes(f, codec.Raw(), []byte("abc"), []byte("defgh"), []byte("ij")))
+	f.Add(containerBytes(f, codec.Deflate(), bytes.Repeat([]byte("deflate me "), 30)))
+	// Truncated mid-payload: the last frame overruns the container.
+	whole := containerBytes(f, codec.Raw(), []byte("0123456789abcdef"))
+	f.Add(whole[:len(whole)-5])
+	// Second frame's header is garbage.
+	torn := bytes.Clone(containerBytes(f, codec.Raw(), []byte("first")))
+	f.Add(append(torn, []byte("CRFX second frame never parses")...))
+	// Lying EncLen in the first header (points far past the data).
+	liar := bytes.Clone(containerBytes(f, codec.Raw(), []byte("tiny")))
+	liar[28] = 0xFF
+	liar[29] = 0xFF
+	f.Add(liar)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := &fuzzHandle{data: data}
+		size := int64(len(data))
+		frames, logical, nextSeq, sniffed, ok, err := probeContainer(h, size)
+		// A header read may start just inside the file and run one header
+		// past its end (short read -> EOF -> clean error); anything beyond
+		// that bound would be reading unrelated bytes on a real backend.
+		if h.maxReq > size+codec.HeaderSize {
+			t.Fatalf("probe requested bytes up to %d of a %d-byte file", h.maxReq, size)
+		}
+		if err != nil {
+			t.Fatalf("in-memory reads cannot fail, got %v", err)
+		}
+		if !sniffed && ok {
+			t.Fatal("ok without a magic match")
+		}
+		if !ok {
+			if len(frames) != 0 || logical != 0 || nextSeq != 0 {
+				t.Fatalf("rejected probe leaked results: %d frames, logical %d, seq %d",
+					len(frames), logical, nextSeq)
+			}
+			return
+		}
+		// Accepted: the index must be consistent with the raw bytes.
+		var wantLogical int64
+		off := int64(0)
+		for _, fr := range frames {
+			if fr.pos != off {
+				t.Fatalf("frame at pos %d, scan order says %d", fr.pos, off)
+			}
+			end := fr.pos + codec.HeaderSize + int64(fr.hdr.EncLen)
+			if end > size {
+				t.Fatalf("accepted frame overruns container: %d > %d", end, size)
+			}
+			if fr.hdr.Off < 0 || fr.hdr.Off > codec.MaxLogicalOff {
+				t.Fatalf("accepted frame with implausible offset %d", fr.hdr.Off)
+			}
+			if fr.hdr.Seq >= nextSeq {
+				t.Fatalf("frame seq %d >= nextSeq %d", fr.hdr.Seq, nextSeq)
+			}
+			if e := fr.hdr.Off + int64(fr.hdr.RawLen); e > wantLogical {
+				wantLogical = e
+			}
+			off = end
+		}
+		if off != size {
+			t.Fatalf("accepted container with %d trailing bytes unaccounted", size-off)
+		}
+		if logical != wantLogical {
+			t.Fatalf("logical %d, frames say %d", logical, wantLogical)
+		}
+		// Determinism: probing the same bytes again agrees.
+		frames2, logical2, nextSeq2, sniffed2, ok2, err2 := probeContainer(&fuzzHandle{data: data}, size)
+		if err2 != nil || !ok2 || !sniffed2 || logical2 != logical || nextSeq2 != nextSeq || len(frames2) != len(frames) {
+			t.Fatal("probe is not deterministic")
+		}
+	})
+}

@@ -49,6 +49,16 @@ type Options struct {
 	// Close, after all chunks have landed. The paper's CRFS does not
 	// (checkpoint time excludes backend page-cache flush); off by default.
 	SyncOnClose bool
+	// ReadAhead enables the restart read pipeline and sets its depth: a
+	// file handle detected reading sequentially triggers prefetch of the
+	// next ReadAhead chunks (plain files) or frames (containers), fetched
+	// and decoded in parallel on the IO workers and served to subsequent
+	// reads from a per-file cache. 0 (the default) disables read-ahead
+	// and keeps the seed read path byte-identical. Prefetched bytes are
+	// invalidated by writes, truncates, and renames, and buffered writes
+	// always shadow them (the overlay-wins rule), so enabling read-ahead
+	// never changes read results — only their cost.
+	ReadAhead int
 	// Codec selects the chunk codec IO workers apply before the backend
 	// write. nil or the raw codec selects passthrough: chunks land
 	// verbatim at their file offsets and backend output is byte-identical
@@ -78,7 +88,7 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Codec == nil {
 		o.Codec = codec.Raw()
 	}
-	if o.BufferPoolSize < 0 || o.ChunkSize <= 0 || o.IOThreads < 0 {
+	if o.BufferPoolSize < 0 || o.ChunkSize <= 0 || o.IOThreads < 0 || o.ReadAhead < 0 {
 		return o, fmt.Errorf("core: invalid options %+v: %w", o, errInvalidOptions)
 	}
 	return o, nil

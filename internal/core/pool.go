@@ -112,6 +112,19 @@ func (p *bufferPool) get(reclaim func()) *chunk {
 	}
 }
 
+// tryGet returns a free chunk holding its pipeline reference, or nil if
+// the pool is empty. The read-ahead path uses it so prefetch can never
+// stall (or deadlock against) a writer blocked in get.
+func (p *bufferPool) tryGet() *chunk {
+	select {
+	case c := <-p.free:
+		c.refs.Store(1)
+		return c
+	default:
+		return nil
+	}
+}
+
 // put returns a chunk to the pool. It never blocks: the pool's capacity
 // equals the number of chunks in existence. Callers release chunks via
 // unpin; put is only called once refs reached zero.

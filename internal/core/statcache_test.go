@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"crfs/internal/codec"
+	"crfs/internal/memfs"
+	"crfs/internal/vfs"
+)
+
+// These tests cover the closed-file probe cache (probeContainer /
+// sniffLogicalSize) against files mutated behind the mount's back with a
+// direct backend write — the one mutation path that bypasses every
+// invalidation hook the mount itself has.
+
+// rawContainer builds a one-frame raw container whose logical size is
+// off+len(payload); its encoded size is HeaderSize+len(payload)
+// regardless of off, which lets tests swap containers of differing
+// logical size without changing the backend size.
+func rawContainer(t *testing.T, off int64, payload []byte) []byte {
+	t.Helper()
+	frame, _, err := codec.EncodeFrame(codec.Raw(), 0, off, payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// backendWrite replaces name's contents directly in the backend.
+func backendWrite(t *testing.T, back vfs.FS, name string, data []byte) {
+	t.Helper()
+	if err := vfs.WriteFile(back, name, data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func statSize(t *testing.T, fs *FS, name string) int64 {
+	t.Helper()
+	info, err := fs.Stat(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size
+}
+
+func TestStatCacheInvalidatedBySizeChange(t *testing.T) {
+	back := memfs.New()
+	fs := mount(t, back, Options{ChunkSize: 4096, BufferPoolSize: 64 << 10, IOThreads: 2})
+	backendWrite(t, back, "ckpt", rawContainer(t, 0, make([]byte, 500)))
+	if got := statSize(t, fs, "ckpt"); got != 500 {
+		t.Fatalf("container logical size = %d, want 500", got)
+	}
+	// Behind-the-back growth: append garbage so the file stops being a
+	// valid container. The probe must re-run and demote to the raw size.
+	f, err := back.Open("ckpt", vfs.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("trailing garbage"), 500+codec.HeaderSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	want := int64(500+codec.HeaderSize) + int64(len("trailing garbage"))
+	if got := statSize(t, fs, "ckpt"); got != want {
+		t.Fatalf("after behind-the-back append: size = %d, want raw %d", got, want)
+	}
+}
+
+func TestStatCacheInvalidatedByMtimeChange(t *testing.T) {
+	// A manual clock makes the mtime deterministic: the rewrite keeps the
+	// size identical, so mtime is the only signal the cache has.
+	now := time.Unix(1000, 0)
+	back := memfs.New(memfs.WithClock(func() time.Time { return now }))
+	fs := mount(t, back, Options{ChunkSize: 4096, BufferPoolSize: 64 << 10, IOThreads: 2})
+	backendWrite(t, back, "ckpt", rawContainer(t, 0, make([]byte, 300)))
+	if got := statSize(t, fs, "ckpt"); got != 300 {
+		t.Fatalf("container logical size = %d, want 300", got)
+	}
+	// Same encoded size, different logical size, newer mtime.
+	now = now.Add(time.Second)
+	backendWrite(t, back, "ckpt", rawContainer(t, 700, make([]byte, 300)))
+	if got := statSize(t, fs, "ckpt"); got != 1000 {
+		t.Fatalf("after same-size rewrite with new mtime: size = %d, want 1000", got)
+	}
+}
+
+func TestStatCacheFrozenClockNeedsExplicitInvalidate(t *testing.T) {
+	// With a frozen backend clock and an identical encoded size, the
+	// cache has no signal at all — the documented limitation — and
+	// InvalidateStatCache is the escape hatch.
+	now := time.Unix(2000, 0)
+	back := memfs.New(memfs.WithClock(func() time.Time { return now }))
+	fs := mount(t, back, Options{ChunkSize: 4096, BufferPoolSize: 64 << 10, IOThreads: 2})
+	backendWrite(t, back, "ckpt", rawContainer(t, 0, make([]byte, 300)))
+	if got := statSize(t, fs, "ckpt"); got != 300 {
+		t.Fatalf("container logical size = %d, want 300", got)
+	}
+	backendWrite(t, back, "ckpt", rawContainer(t, 700, make([]byte, 300)))
+	if got := statSize(t, fs, "ckpt"); got != 300 {
+		// Not a requirement — just documentation: if this starts failing
+		// the cache grew a content signal and the test should be updated.
+		t.Logf("frozen-clock rewrite was detected anyway (size %d)", got)
+	}
+	fs.InvalidateStatCache("ckpt")
+	if got := statSize(t, fs, "ckpt"); got != 1000 {
+		t.Fatalf("after InvalidateStatCache: size = %d, want 1000", got)
+	}
+	// The no-argument form wipes everything.
+	backendWrite(t, back, "ckpt", rawContainer(t, 1200, make([]byte, 300)))
+	fs.InvalidateStatCache()
+	if got := statSize(t, fs, "ckpt"); got != 1500 {
+		t.Fatalf("after full InvalidateStatCache: size = %d, want 1500", got)
+	}
+}
+
+// mutatingBackend fires a one-shot mutation the moment the probe opens
+// its target — reproducing a direct backend write landing inside the
+// stat-then-scan window.
+type mutatingBackend struct {
+	vfs.FS
+	t      *testing.T
+	target string
+	armed  bool
+	mutate func()
+}
+
+func (m *mutatingBackend) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
+	if m.armed && vfs.Clean(name) == m.target {
+		m.armed = false
+		m.mutate()
+	}
+	return m.FS.Open(name, flag)
+}
+
+func TestStatProbeRacingBackendWrite(t *testing.T) {
+	// The file is plain when Stat snapshots it, and becomes a (larger)
+	// container while the probe runs. Without the post-probe re-stat the
+	// scan — bounded by the stale size — would cache "plain, 100 bytes"
+	// under the new identity's path; with it, Stat reports the fresh
+	// container's logical size.
+	back := memfs.New()
+	mb := &mutatingBackend{FS: back, t: t, target: "ckpt"}
+	fs := mount(t, mb, Options{ChunkSize: 4096, BufferPoolSize: 64 << 10, IOThreads: 2})
+	backendWrite(t, back, "ckpt", make([]byte, 100))
+	mb.mutate = func() { backendWrite(t, back, "ckpt", rawContainer(t, 900, make([]byte, 100))) }
+	mb.armed = true
+	if got := statSize(t, fs, "ckpt"); got != 1000 {
+		t.Fatalf("Stat racing a backend write = %d, want the fresh container's 1000", got)
+	}
+	// And the cache must now hold the fresh result, not a stale hybrid.
+	if got := statSize(t, fs, "ckpt"); got != 1000 {
+		t.Fatalf("cached result after the race = %d, want 1000", got)
+	}
+}
+
+// TestOpenSeesBehindTheBackContainer pins the open path's behavior for
+// the same mutation: a container swapped in behind the mount's back is
+// indexed fresh on every open of a closed file (opens never consult the
+// stat cache).
+func TestOpenSeesBehindTheBackContainer(t *testing.T) {
+	back := memfs.New()
+	fs := mount(t, back, Options{ChunkSize: 4096, BufferPoolSize: 64 << 10, IOThreads: 2})
+	payload := []byte("the second container's payload")
+	backendWrite(t, back, "ckpt", rawContainer(t, 0, make([]byte, 64)))
+	if got := statSize(t, fs, "ckpt"); got != 64 {
+		t.Fatalf("logical size = %d, want 64", got)
+	}
+	backendWrite(t, back, "ckpt", rawContainer(t, 0, payload))
+	f, err := fs.Open("ckpt", vfs.ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got := make([]byte, len(payload))
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("open after behind-the-back swap read %q", got)
+	}
+}

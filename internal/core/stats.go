@@ -26,6 +26,11 @@ type statCounters struct {
 
 	readsFromBuffer   atomic.Int64
 	readDrainsAvoided atomic.Int64
+
+	prefetchHits   atomic.Int64
+	prefetchMisses atomic.Int64
+	prefetchWasted atomic.Int64
+	prefetchBytes  atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a mount's activity. It quantifies
@@ -74,6 +79,18 @@ type Stats struct {
 	// pipeline was dirty (buffered or in-flight chunks outstanding) —
 	// each one is a read that the drain-based path would have stalled on.
 	ReadDrainsAvoided int64
+	// PrefetchHits counts base-read segments (plain blocks or container
+	// frames) served from the read-ahead cache.
+	PrefetchHits int64
+	// PrefetchMisses counts base-read segments that consulted the
+	// read-ahead cache and fell back to a synchronous backend fetch.
+	PrefetchMisses int64
+	// PrefetchWasted counts prefetched extents discarded unread —
+	// invalidated by a mutation, evicted by capacity, or fetched by a job
+	// whose generation went stale before publish.
+	PrefetchWasted int64
+	// PrefetchedBytes is the total bytes published into read-ahead caches.
+	PrefetchedBytes int64
 }
 
 // AggregationRatio returns application writes per backend write, the
@@ -109,6 +126,17 @@ func (s Stats) ReadPath() metrics.ReadPathStats {
 	}
 }
 
+// Prefetch returns the restart read pipeline's activity as a
+// metrics.PrefetchStats summary.
+func (s Stats) Prefetch() metrics.PrefetchStats {
+	return metrics.PrefetchStats{
+		Hits:   s.PrefetchHits,
+		Misses: s.PrefetchMisses,
+		Wasted: s.PrefetchWasted,
+		Bytes:  s.PrefetchedBytes,
+	}
+}
+
 // Stats returns a snapshot of the mount's counters.
 func (fs *FS) Stats() Stats {
 	return Stats{
@@ -128,5 +156,9 @@ func (fs *FS) Stats() Stats {
 		RawFrames:         fs.stats.rawFrames.Load(),
 		ReadsFromBuffer:   fs.stats.readsFromBuffer.Load(),
 		ReadDrainsAvoided: fs.stats.readDrainsAvoided.Load(),
+		PrefetchHits:      fs.stats.prefetchHits.Load(),
+		PrefetchMisses:    fs.stats.prefetchMisses.Load(),
+		PrefetchWasted:    fs.stats.prefetchWasted.Load(),
+		PrefetchedBytes:   fs.stats.prefetchBytes.Load(),
 	}
 }

@@ -31,6 +31,15 @@ func WithDiscard() Option { return func(m *FS) { m.discard = true } }
 // backend in real-time tests of the CRFS pipeline.
 func WithWriteDelay(d time.Duration) Option { return func(m *FS) { m.writeDelay = d } }
 
+// WithReadDelay adds a fixed sleep to every ReadAt, simulating restart
+// reads from a slow backend (the latency the read-ahead pipeline hides).
+func WithReadDelay(d time.Duration) Option { return func(m *FS) { m.readDelay = d } }
+
+// WithClock replaces the clock stamping file mtimes, letting tests model
+// backends with coarse or frozen timestamps (the mtime-based probe-cache
+// validation in core is only as good as the backend's clock).
+func WithClock(now func() time.Time) Option { return func(m *FS) { m.now = now } }
+
 // WithWriteError arranges for WriteAt to fail with err after the first n
 // successful writes (n counts across all files). n < 0 disables injection.
 func WithWriteError(n int, err error) Option {
@@ -59,6 +68,7 @@ type FS struct {
 	nodes      map[string]*node
 	discard    bool
 	writeDelay time.Duration
+	readDelay  time.Duration
 	failAfter  int
 	failErr    error
 	writes     int // completed writes, for failure injection
@@ -419,6 +429,9 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	}
 	if off < 0 {
 		return 0, fmt.Errorf("memfs: read %s: negative offset: %w", f.name, vfs.ErrInvalid)
+	}
+	if f.fs.readDelay > 0 {
+		time.Sleep(f.fs.readDelay)
 	}
 	m := f.fs
 	m.mu.Lock()

@@ -234,3 +234,31 @@ func (r ReadPathStats) Format() string {
 	return fmt.Sprintf("readpath: reads=%d from-buffer=%d (%.1f%%) drains-avoided=%d",
 		r.Reads, r.FromBuffer, 100*r.BufferHitRate(), r.DrainsAvoided)
 }
+
+// PrefetchStats summarizes the restart read pipeline of a real CRFS
+// mount: how much sequential read-ahead the IO workers performed and how
+// much of it reads actually consumed. Restart is the half of the C/R
+// story the paper's write pipeline leaves untouched; these counters make
+// its new axis — overlap between backend fetch/decode and the
+// application's sequential reads — measurable.
+type PrefetchStats struct {
+	Hits   int64 // base-read segments served from the read-ahead cache
+	Misses int64 // base-read segments that fell back to a synchronous fetch
+	Wasted int64 // prefetched extents discarded unread (invalidated/evicted/stale)
+	Bytes  int64 // bytes published into read-ahead caches
+}
+
+// HitRate returns the fraction of cache-consulting base reads served
+// from prefetched data. 0 means read-ahead never served a byte.
+func (p PrefetchStats) HitRate() float64 {
+	if p.Hits+p.Misses == 0 {
+		return 0
+	}
+	return float64(p.Hits) / float64(p.Hits+p.Misses)
+}
+
+// Format renders the summary as a one-line report.
+func (p PrefetchStats) Format() string {
+	return fmt.Sprintf("prefetch: hits=%d misses=%d (%.1f%% hit) wasted=%d bytes=%d",
+		p.Hits, p.Misses, 100*p.HitRate(), p.Wasted, p.Bytes)
+}
