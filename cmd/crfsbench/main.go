@@ -27,6 +27,15 @@
 // prefetch depth (0 = synchronous reads):
 //
 //	crfsbench -real -restart -readahead 8 -delay 200us -codec deflate
+//
+// -crash runs the crash-consistency harness: a mixed write/sync/
+// overwrite workload is recorded through a mount over the power-cut
+// fault-injection backend, then every crash point (each mutation
+// boundary plus torn cuts inside each write) is replayed, remounted,
+// and checked against the durability contract. The run exits non-zero
+// on any violation:
+//
+//	crfsbench -crash
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"time"
 
 	crfs "crfs"
+	"crfs/internal/crashfs"
 	"crfs/internal/experiments"
 	"crfs/internal/memfs"
 )
@@ -55,8 +65,16 @@ func main() {
 	delay := flag.Duration("delay", 0, "with -real: synthetic backend latency (e.g. 200us)")
 	restart := flag.Bool("restart", false, "with -real: write the file, then benchmark sequential restart reads")
 	readAhead := flag.Int("readahead", 0, "with -real -restart: read-ahead depth in chunks/frames (0 disables)")
+	crash := flag.Bool("crash", false, "run the crash-point enumeration harness and verify the durability contract")
 	flag.Parse()
 
+	if *crash {
+		if err := crashBench(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *real {
 		var err error
 		if *restart {
@@ -90,6 +108,47 @@ func main() {
 		fmt.Print(rep.Format())
 		fmt.Printf("(regenerated in %.1fs)\n\n", time.Since(start).Seconds())
 	}
+}
+
+// crashBench sweeps the crash-point harness across the codec × repair
+// matrix on the standard mixed write/sync/overwrite workload, printing
+// one row per configuration. Any durability-contract violation fails
+// the run.
+func crashBench() error {
+	type cfg struct {
+		name   string
+		codec  crfs.Codec
+		repair bool
+	}
+	matrix := []cfg{
+		{"raw", crfs.RawCodec(), false},
+		{"raw+repair", crfs.RawCodec(), true},
+		{"deflate", crfs.DeflateCodec(), false},
+		{"deflate+repair", crfs.DeflateCodec(), true},
+	}
+	fmt.Printf("%-16s %10s %8s %10s %9s %9s %11s %10s\n",
+		"config", "mutations", "points", "violations", "salvaged", "repaired", "frames-lost", "bytes-cut")
+	failed := false
+	for _, m := range matrix {
+		res, err := crashfs.RunHarness(crashfs.HarnessConfig{
+			Codec: m.codec, Repair: m.repair, Torn: true,
+		}, crashfs.MixedWorkload())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %10d %8d %10d %9d %9d %11d %10d\n",
+			m.name, res.Mutations, res.Points, len(res.Violations),
+			res.Salvaged, res.Repaired, res.FramesDropped, res.BytesTruncated)
+		for _, v := range res.Violations {
+			failed = true
+			fmt.Fprintf(os.Stderr, "  VIOLATION [%s]: %s\n", m.name, v)
+		}
+	}
+	if failed {
+		return fmt.Errorf("crfsbench: durability contract violated")
+	}
+	fmt.Println("durability contract proven at every enumerated crash point")
+	return nil
 }
 
 // realBench drives the real aggregation pipeline: checkpoint-sized writes

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	crfscp [-chunk 4194304] [-pool 16777216] [-threads 4] [-bs 8192] [-codec raw|deflate] SRC... DSTDIR
-//	crfscp -restore [-readahead 8] SRC... DSTDIR
+//	crfscp -restore [-readahead 8] [-repair] SRC... DSTDIR
+//
+// -repair enables crash recovery on open: a frame container with a torn
+// tail (a power cut mid-checkpoint) is truncated to its longest intact
+// frame prefix instead of being re-salvaged on every mount.
 //
 // With -codec deflate the destination files are CRFS frame containers:
 // chunks are compressed in parallel on the IO workers, cutting the bytes
@@ -39,6 +43,7 @@ func main() {
 	codecName := flag.String("codec", "raw", "chunk codec: "+strings.Join(crfs.CodecNames(), "|"))
 	restore := flag.Bool("restore", false, "restore direction: read SRC files through a CRFS mount, write plain copies to DSTDIR")
 	readAhead := flag.Int("readahead", 8, "with -restore: read-ahead depth in chunks/frames (0 disables)")
+	repair := flag.Bool("repair", false, "truncate torn frame containers to their intact prefix on first open (crash recovery)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
@@ -51,7 +56,7 @@ func main() {
 		fatal(err)
 	}
 	if *restore {
-		if err := restoreAll(srcs, dst, *bs, *chunk, *pool, *threads, *readAhead); err != nil {
+		if err := restoreAll(srcs, dst, *bs, *chunk, *pool, *threads, *readAhead, *repair); err != nil {
 			fatal(err)
 		}
 		return
@@ -62,6 +67,7 @@ func main() {
 	}
 	fs, err := crfs.MountDir(dst, crfs.Options{
 		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads, Codec: cdc,
+		RepairOnOpen: *repair,
 	})
 	if err != nil {
 		fatal(err)
@@ -124,7 +130,7 @@ func copyOne(fs *crfs.FS, src string, bs int) (int64, error) {
 // restoreAll copies each src out of a CRFS mount over its directory into
 // dst as a plain file. Mounts are shared per source directory, so the
 // per-mount stats aggregate all files restored from that directory.
-func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, readAhead int) error {
+func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, readAhead int, repair bool) error {
 	mounts := make(map[string]*crfs.FS)
 	defer func() {
 		for _, fs := range mounts {
@@ -140,6 +146,7 @@ func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, r
 			var err error
 			fs, err = crfs.MountDir(dir, crfs.Options{
 				ChunkSize: chunk, BufferPoolSize: pool, IOThreads: threads, ReadAhead: readAhead,
+				RepairOnOpen: repair,
 			})
 			if err != nil {
 				return err
@@ -162,6 +169,9 @@ func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, r
 		delete(mounts, dir)
 		st := fs.Stats()
 		fmt.Printf("%s: reads=%d bytes=%d, %s\n", dir, st.Reads, st.BytesRead, st.Prefetch().Format())
+		if rc := st.Recovery(); rc.Salvaged > 0 || rc.Repaired > 0 {
+			fmt.Printf("%s: %s\n", dir, rc.Format())
+		}
 	}
 	return nil
 }

@@ -34,6 +34,7 @@ func main() {
 	threads := flag.Int("threads", crfs.DefaultIOThreads, "IO threads")
 	codecName := flag.String("codec", "raw", "chunk codec: "+strings.Join(crfs.CodecNames(), "|"))
 	readAhead := flag.Int("readahead", 8, "read-ahead depth for GET streams, in chunks/frames (0 disables)")
+	repair := flag.Bool("repair", false, "truncate torn frame containers to their intact prefix on first open (crash recovery)")
 	flag.Parse()
 
 	cdc, err := crfs.LookupCodec(*codecName)
@@ -42,7 +43,7 @@ func main() {
 	}
 	fs, err := crfs.MountDir(*dir, crfs.Options{
 		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads, Codec: cdc,
-		ReadAhead: *readAhead,
+		ReadAhead: *readAhead, RepairOnOpen: *repair,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -51,8 +52,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s readahead=%d)",
-		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name(), *readAhead)
+	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s readahead=%d repair=%v)",
+		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name(), *readAhead, *repair)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -102,9 +103,10 @@ func serve(fs *crfs.FS, conn net.Conn) {
 		}
 	case "STAT":
 		st := fs.Stats()
-		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f\n",
+		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f salvaged=%d repaired=%d failed_chunks=%d\n",
 			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits,
-			st.CodecBytesIn, st.CodecBytesOut, st.CompressionRatio())
+			st.CodecBytesIn, st.CodecBytesOut, st.CompressionRatio(),
+			st.ContainersSalvaged, st.ContainersRepaired, st.FailedChunks)
 	default:
 		fmt.Fprintf(conn, "ERR unknown verb %q\n", fields[0])
 	}

@@ -32,6 +32,18 @@
 // invalidated by writes, truncates, and renames, and buffered writes
 // always shadow them, so read results never change — only their cost.
 //
+// Crash consistency is a stated contract: everything acknowledged by
+// Sync or Close survives a crash byte-identically, overwritten data is
+// never resurrected, and unsynced tails only ever shorten a file. A
+// frame container torn by a crash mid-append is salvaged at open — reads
+// serve the longest intact frame prefix instead of failing the file —
+// and Options.RepairOnOpen additionally truncates the backend file to
+// that prefix. Stats.Recovery() reports salvage activity, and backend
+// write failures surface exactly once, at the next Sync or Close. The
+// contract is enforced by a crash-point enumeration harness
+// (internal/crashfs, `crfsbench -crash`) that replays a power cut at
+// every byte boundary of a workload's backend writes.
+//
 // Quick start:
 //
 //	backend, _ := crfs.DirBackend("/mnt/scratch")

@@ -1,0 +1,174 @@
+package codec
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// Golden container fixtures: small checked-in containers (raw and
+// deflate, multi-frame, with an overwrite history; plus one with a torn
+// tail) that both the strict scanner and the salvage path must keep
+// reading byte-identically — a format-compatibility ratchet for future
+// codec changes. Regenerate with `go test ./internal/codec -run
+// TestGolden -update` only for a deliberate, documented format bump.
+
+var updateGolden = flag.Bool("update", false, "rewrite golden container fixtures")
+
+const goldenDir = "testdata/golden"
+
+// goldenPayload builds a deterministic, mildly compressible payload.
+func goldenPayload(n, seed int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte((seed*31 + i/7 + i*i%13) % 251)
+	}
+	return p
+}
+
+// goldenExtents is the shared write history: three sequential extents,
+// then an overwrite of the middle one — so last-writer-wins resolution
+// is part of what the ratchet locks down.
+func goldenExtents() []struct {
+	off  int64
+	data []byte
+} {
+	return []struct {
+		off  int64
+		data []byte
+	}{
+		ext(0, goldenPayload(300, 1)),
+		ext(300, goldenPayload(300, 2)),
+		ext(600, goldenPayload(200, 3)),
+		ext(300, goldenPayload(300, 4)), // overwrites extent 2
+	}
+}
+
+// replayFrames decodes frames in sequence order onto a logical image.
+func replayFrames(t *testing.T, r *bytes.Reader, frames []FrameInfo) []byte {
+	t.Helper()
+	ordered := append([]FrameInfo(nil), frames...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Header.Seq < ordered[j].Header.Seq })
+	var logical int64
+	for _, fr := range ordered {
+		if end := fr.Header.Off + int64(fr.Header.RawLen); end > logical {
+			logical = end
+		}
+	}
+	img := make([]byte, logical)
+	for _, fr := range ordered {
+		if fr.Header.RawLen == 0 {
+			continue
+		}
+		enc := make([]byte, fr.Header.EncLen)
+		if _, err := r.ReadAt(enc, fr.Pos+HeaderSize); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := DecodeFrame(fr.Header, enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(img[fr.Header.Off:], raw)
+	}
+	return img
+}
+
+func wantContent() []byte {
+	img := make([]byte, 800)
+	for _, e := range goldenExtents() {
+		copy(img[e.off:], e.data)
+	}
+	return img
+}
+
+func goldenFixtures(t *testing.T) map[string][]byte {
+	t.Helper()
+	fix := map[string][]byte{}
+	for _, c := range []Codec{Raw(), Deflate()} {
+		var box []byte
+		for i, e := range goldenExtents() {
+			var err error
+			box, _, err = EncodeFrame(c, uint64(i), e.off, e.data, box)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		fix[c.Name()+".crfc"] = box
+		if c.ID() == DeflateID {
+			// Torn variant: the intact frames plus a half-written fifth
+			// frame — the exact shape a power cut mid-append leaves.
+			half, _, err := EncodeFrame(c, 4, 800, goldenPayload(256, 5), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fix["deflate-torn.crfc"] = append(bytes.Clone(box), half[:len(half)/2]...)
+		}
+	}
+	fix["content.want"] = wantContent()
+	return fix
+}
+
+func TestGoldenContainers(t *testing.T) {
+	if *updateGolden {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range goldenFixtures(t) {
+			if err := os.WriteFile(filepath.Join(goldenDir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want, err := os.ReadFile(filepath.Join(goldenDir, "content.want"))
+	if err != nil {
+		t.Fatalf("missing golden fixtures (run with -update to generate): %v", err)
+	}
+	for _, name := range []string{"raw.crfc", "deflate.crfc"} {
+		t.Run(name, func(t *testing.T) {
+			box, err := os.ReadFile(filepath.Join(goldenDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := bytes.NewReader(box)
+			// Strict scanner accepts the whole container.
+			frames, intact, stopErr := ScanPrefix(r, int64(len(box)))
+			if stopErr != nil || intact != int64(len(box)) {
+				t.Fatalf("strict scan: intact=%d err=%v", intact, stopErr)
+			}
+			if got := replayFrames(t, r, frames); !bytes.Equal(got, want) {
+				t.Fatal("strict scan replay differs from golden content")
+			}
+			// Salvage agrees frame-for-frame and byte-for-byte.
+			sframes, rep, err := Salvage(r, int64(len(box)))
+			if err != nil || !rep.Clean() || len(sframes) != len(frames) {
+				t.Fatalf("salvage: report=%+v err=%v frames=%d/%d", rep, err, len(sframes), len(frames))
+			}
+			if got := replayFrames(t, r, sframes); !bytes.Equal(got, want) {
+				t.Fatal("salvage replay differs from golden content")
+			}
+		})
+	}
+	t.Run("deflate-torn.crfc", func(t *testing.T) {
+		box, err := os.ReadFile(filepath.Join(goldenDir, "deflate-torn.crfc"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := bytes.NewReader(box)
+		if _, _, stopErr := ScanPrefix(r, int64(len(box))); stopErr == nil {
+			t.Fatal("strict scan accepted the torn fixture")
+		}
+		frames, rep, err := Salvage(r, int64(len(box)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Clean() || len(frames) != 4 {
+			t.Fatalf("salvage kept %d frames (report %+v), want the 4 intact ones", len(frames), rep)
+		}
+		if got := replayFrames(t, r, frames); !bytes.Equal(got, want) {
+			t.Fatal("salvaged torn fixture differs from golden content")
+		}
+	})
+}

@@ -406,9 +406,10 @@ func TestConcurrentFramedReaders(t *testing.T) {
 }
 
 // TestTornContainerPolicy: a container with a corrupt tail (crash
-// mid-append) stays readable as raw bytes (demote-for-reads), refuses
-// writable opens that would compound the damage, and recovers via a
-// Trunc rewrite.
+// mid-append) is salvaged at open — reads serve the longest intact frame
+// prefix instead of failing (or leaking the encoded stream), writable
+// opens append right after the prefix, RecoveryStats reflect the
+// salvage, and a Trunc rewrite still works.
 func TestTornContainerPolicy(t *testing.T) {
 	backend := memfs.New()
 	w, err := Mount(backend, Options{
@@ -417,7 +418,8 @@ func TestTornContainerPolicy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	writeThrough(t, w, "torn.img", compressiblePayload(64<<10, 70), 7000)
+	payload := compressiblePayload(64<<10, 70)
+	writeThrough(t, w, "torn.img", payload, 7000)
 	if err := w.Unmount(); err != nil {
 		t.Fatal(err)
 	}
@@ -438,14 +440,49 @@ func TestTornContainerPolicy(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fs.Unmount()
-	if _, err := fs.Open("torn.img", vfs.WriteOnly); !errors.Is(err, codec.ErrCorrupt) {
-		t.Fatalf("writable open of torn container = %v, want ErrCorrupt", err)
+	// Reads serve the salvaged intact prefix — the whole original payload,
+	// since only garbage was appended.
+	if got := readThrough(t, fs, "torn.img"); !bytes.Equal(got, payload) {
+		t.Fatal("read of torn container does not serve the intact frame prefix")
 	}
-	// Reads demote to passthrough: the encoded stream verbatim.
-	if got := readThrough(t, fs, "torn.img"); !bytes.Equal(got, torn) {
-		t.Fatal("read of torn container is not verbatim passthrough")
+	st := fs.Stats()
+	if st.ContainersSalvaged == 0 || st.SalvageBytesTruncated != int64(len("garbage tail!!")) {
+		t.Fatalf("RecoveryStats = %+v, want salvage of %d bytes", st.Recovery(), len("garbage tail!!"))
 	}
-	// Trunc rewrite recovers the path.
+	if st.ContainersRepaired != 0 {
+		t.Fatalf("repaired %d containers without RepairOnOpen", st.ContainersRepaired)
+	}
+	// Writable open appends after the intact prefix; the extension is
+	// readable and survives a remount (the junk was overwritten in place,
+	// keeping the container a parseable prefix).
+	wf, err := fs.Open("torn.img", vfs.WriteOnly)
+	if err != nil {
+		t.Fatalf("writable open of salvaged container: %v", err)
+	}
+	extra := compressiblePayload(8<<10, 72)
+	if _, err := wf.WriteAt(extra, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if err := wf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte(nil), payload...), extra...)
+	if got := readThrough(t, fs, "torn.img"); !bytes.Equal(got, want) {
+		t.Fatal("append after salvage differs")
+	}
+	fs2, err := Mount(backend, Options{
+		ChunkSize: 32 << 10, BufferPoolSize: 128 << 10, Codec: codec.Deflate(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := readThrough(t, fs2, "torn.img"); !bytes.Equal(got, want) {
+		t.Fatal("salvage + append does not survive remount")
+	}
+	if err := fs2.Unmount(); err != nil {
+		t.Fatal(err)
+	}
+	// Trunc rewrite still recovers the path outright.
 	fresh := compressiblePayload(32<<10, 71)
 	writeThrough(t, fs, "torn.img", fresh, 5000)
 	if got := readThrough(t, fs, "torn.img"); !bytes.Equal(got, fresh) {

@@ -47,7 +47,15 @@ type fileEntry struct {
 	writeChunks int64    // chunks handed to the work queue ("write chunk count")
 	doneChunks  int64    // chunks completed by IO threads ("complete chunk count")
 	logicalSize int64    // max written end; backend size may lag while buffered
-	firstErr    error    // first backend write error, surfaced at close/fsync/write
+
+	// firstErr is the first backend write error; it fail-stops the
+	// write/read paths of the entry (writes and reads refuse, internal
+	// drains abort). pendingErr is the not-yet-reported surface error:
+	// the next Sync or Close (across all handles) returns it exactly
+	// once, so callers that retry after handling a failure are not fed
+	// the same completion error forever. A later failure re-arms it.
+	firstErr   error
+	pendingErr error
 
 	// Frame-container state (framed entries only, guarded by mu). A
 	// framed entry's backend file is a sequence of codec frames rather
@@ -55,10 +63,17 @@ type fileEntry struct {
 	// where the next frame lands, and frameSeq numbers flushes so decode
 	// can replay overlapping extents in write order.
 	framed    bool
-	frames    []frameLoc // sorted by (logical offset, seq)
-	maxRawLen int64      // largest raw extent; bounds the read search window
+	frames    []codec.FrameInfo // sorted by (logical offset, seq)
+	maxRawLen int64             // largest raw extent; bounds the read search window
 	appendOff int64
 	frameSeq  uint64
+
+	// pendingRepair (>= 0) marks a container whose torn tail was dropped
+	// at open (reads serve the intact frame prefix, appends land right
+	// after it) and asks Open to truncate the backend to that prefix
+	// once the entry wins the table race (Options.RepairOnOpen); -1
+	// means no repair is due.
+	pendingRepair int64
 
 	// decMu guards the one-frame decode cache, which makes sequential
 	// small reads of a container cheap. Cached buffers are immutable
@@ -77,13 +92,6 @@ type fileEntry struct {
 	pf *prefetcher
 }
 
-// frameLoc locates one frame inside a container: its parsed header plus
-// the backend offset of the header's first byte.
-type frameLoc struct {
-	hdr codec.Header
-	pos int64
-}
-
 // backendHandle is the part of vfs.File the workers and entry use.
 type backendHandle interface {
 	WriteAt(p []byte, off int64) (int, error)
@@ -95,10 +103,11 @@ type backendHandle interface {
 
 func newFileEntry(fs *FS, name string, backend backendHandle, chunkSize int64) *fileEntry {
 	e := &fileEntry{
-		fs:          fs,
-		name:        name,
-		backendFile: backend,
-		agg:         chunker.NewFileAgg(chunkSize),
+		fs:            fs,
+		name:          name,
+		backendFile:   backend,
+		agg:           chunker.NewFileAgg(chunkSize),
+		pendingRepair: -1,
 	}
 	e.cond = sync.NewCond(&e.mu)
 	if fs.opts.ReadAhead > 0 {
@@ -215,7 +224,10 @@ func (e *fileEntry) tryFlushTail() {
 
 // waitDrained blocks until every enqueued chunk of this file has been
 // written by an IO thread ("complete chunk count == write chunk count",
-// §IV-C), then returns the sticky error if any.
+// §IV-C), then returns the sticky error if any. Internal gates (rename,
+// truncate, container reset) use it: they must keep refusing after a
+// failure, without consuming the one-shot report Sync/Close owe the
+// application.
 func (e *fileEntry) waitDrained() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -223,6 +235,21 @@ func (e *fileEntry) waitDrained() error {
 		e.cond.Wait()
 	}
 	return e.firstErr
+}
+
+// drainReport is the Sync/Close drain: wait for every enqueued chunk,
+// then take the pending surface error — each backend write failure is
+// reported to the application exactly once, by whichever Sync or Close
+// drains first, instead of echoing forever from a sticky cell.
+func (e *fileEntry) drainReport() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.doneChunks < e.writeChunks {
+		e.cond.Wait()
+	}
+	err := e.pendingErr
+	e.pendingErr = nil
+	return err
 }
 
 // complete is called by IO workers after writing a chunk. The chunk is
@@ -250,8 +277,13 @@ func (e *fileEntry) complete(c *chunk, err error) []*chunk {
 	}
 	e.mu.Lock()
 	e.doneChunks++
-	if err != nil && e.firstErr == nil {
-		e.firstErr = err
+	if err != nil {
+		if e.firstErr == nil {
+			e.firstErr = err
+		}
+		if e.pendingErr == nil {
+			e.pendingErr = err
+		}
 	}
 	c.done = true
 	var retired []*chunk
@@ -276,64 +308,47 @@ func (e *fileEntry) pathName() string {
 	return e.name
 }
 
-// scanFrames walks a frame container of the given backend size and
-// returns its index, logical size, and next sequence number. The scan
-// reads only the 32-byte headers, seeking over payloads, so indexing a
-// multi-gigabyte checkpoint costs one small read per chunk.
-func scanFrames(f backendHandle, size int64) (frames []frameLoc, logical int64, nextSeq uint64, err error) {
-	hdr := make([]byte, codec.HeaderSize)
-	for off := int64(0); off < size; {
-		if _, err := f.ReadAt(hdr, off); err != nil {
-			return nil, 0, 0, fmt.Errorf("core: frame header at %d: %w", off, err)
-		}
-		h, err := codec.ParseHeader(hdr)
-		if err != nil {
-			return nil, 0, 0, fmt.Errorf("core: frame at %d: %w", off, err)
-		}
-		next := off + codec.HeaderSize + int64(h.EncLen)
-		if next > size {
-			return nil, 0, 0, fmt.Errorf("core: frame at %d overruns container (%d > %d): %w",
-				off, next, size, codec.ErrCorrupt)
-		}
-		frames = append(frames, frameLoc{hdr: h, pos: off})
-		if end := h.Off + int64(h.RawLen); end > logical {
+// frameExtent computes the logical size and next sequence number of a
+// scanned frame index (codec.ScanPrefix/Salvage does the walking).
+func frameExtent(frames []codec.FrameInfo) (logical int64, nextSeq uint64) {
+	for _, fr := range frames {
+		if end := fr.Header.Off + int64(fr.Header.RawLen); end > logical {
 			logical = end
 		}
-		if h.Seq >= nextSeq {
-			nextSeq = h.Seq + 1
+		if fr.Header.Seq >= nextSeq {
+			nextSeq = fr.Header.Seq + 1
 		}
-		off = next
 	}
-	return frames, logical, nextSeq, nil
+	return logical, nextSeq
 }
 
 // addFrameLocked records a completed frame, keeping the index sorted by
 // (logical offset, seq) so reads can binary-search it. Sequential
 // checkpoint streams append at the end; only overwrites pay a shift.
 // Caller holds mu.
-func (e *fileEntry) addFrameLocked(fr frameLoc) {
-	if n := int64(fr.hdr.RawLen); n > e.maxRawLen {
+func (e *fileEntry) addFrameLocked(fr codec.FrameInfo) {
+	if n := int64(fr.Header.RawLen); n > e.maxRawLen {
 		e.maxRawLen = n
 	}
 	i := sort.Search(len(e.frames), func(i int) bool {
-		a := e.frames[i].hdr
-		return a.Off > fr.hdr.Off || (a.Off == fr.hdr.Off && a.Seq > fr.hdr.Seq)
+		a := e.frames[i].Header
+		return a.Off > fr.Header.Off || (a.Off == fr.Header.Off && a.Seq > fr.Header.Seq)
 	})
-	e.frames = append(e.frames, frameLoc{})
+	e.frames = append(e.frames, codec.FrameInfo{})
 	copy(e.frames[i+1:], e.frames[i:])
 	e.frames[i] = fr
 }
 
 // setFrames installs a scanned container index on a fresh entry (not yet
 // shared, so no lock needed).
-func (e *fileEntry) setFrames(frames []frameLoc) {
+func (e *fileEntry) setFrames(frames []codec.FrameInfo) {
 	sort.Slice(frames, func(i, j int) bool {
-		a, b := frames[i].hdr, frames[j].hdr
+		a, b := frames[i].Header, frames[j].Header
 		return a.Off < b.Off || (a.Off == b.Off && a.Seq < b.Seq)
 	})
 	e.frames = frames
 	for _, fr := range frames {
-		if n := int64(fr.hdr.RawLen); n > e.maxRawLen {
+		if n := int64(fr.Header.RawLen); n > e.maxRawLen {
 			e.maxRawLen = n
 		}
 	}
@@ -343,21 +358,21 @@ func (e *fileEntry) setFrames(frames []frameLoc) {
 // order. The index is sorted by offset and no raw extent exceeds
 // maxRawLen, so a frame overlapping the range must start after
 // off-maxRawLen: binary search there and scan forward to end.
-func (e *fileEntry) overlapFrames(off, end int64) []frameLoc {
-	overlap := make([]frameLoc, 0, 4)
+func (e *fileEntry) overlapFrames(off, end int64) []codec.FrameInfo {
+	overlap := make([]codec.FrameInfo, 0, 4)
 	e.mu.Lock()
 	lo := sort.Search(len(e.frames), func(i int) bool {
-		return e.frames[i].hdr.Off > off-e.maxRawLen
+		return e.frames[i].Header.Off > off-e.maxRawLen
 	})
-	for i := lo; i < len(e.frames) && e.frames[i].hdr.Off < end; i++ {
+	for i := lo; i < len(e.frames) && e.frames[i].Header.Off < end; i++ {
 		fr := e.frames[i]
 		// RawLen == 0 skips pad frames (stamped over failed writes).
-		if fr.hdr.RawLen > 0 && fr.hdr.Off+int64(fr.hdr.RawLen) > off {
+		if fr.Header.RawLen > 0 && fr.Header.Off+int64(fr.Header.RawLen) > off {
 			overlap = append(overlap, fr)
 		}
 	}
 	e.mu.Unlock()
-	sort.Slice(overlap, func(i, j int) bool { return overlap[i].hdr.Seq < overlap[j].hdr.Seq })
+	sort.Slice(overlap, func(i, j int) bool { return overlap[i].Header.Seq < overlap[j].Header.Seq })
 	return overlap
 }
 
@@ -518,8 +533,8 @@ func (e *fileEntry) readPlainInto(p []byte, off int64) error {
 // decoded bytes in sequence order so later writes shadow earlier ones.
 func (e *fileEntry) readFramedInto(p []byte, off int64) error {
 	overlap := e.overlapFrames(off, off+int64(len(p)))
-	if !(len(overlap) == 1 && overlap[0].hdr.Off <= off &&
-		overlap[0].hdr.Off+int64(overlap[0].hdr.RawLen) >= off+int64(len(p))) {
+	if !(len(overlap) == 1 && overlap[0].Header.Off <= off &&
+		overlap[0].Header.Off+int64(overlap[0].Header.RawLen) >= off+int64(len(p))) {
 		// Only zero-fill when one frame doesn't cover the whole range —
 		// the common sequential chunk read skips the memset entirely.
 		clear(p)
@@ -529,9 +544,9 @@ func (e *fileEntry) readFramedInto(p []byte, off int64) error {
 		if err != nil {
 			return err
 		}
-		lo := max(fr.hdr.Off, off)
-		hi := min(fr.hdr.Off+int64(fr.hdr.RawLen), off+int64(len(p)))
-		copy(p[lo-off:hi-off], raw[lo-fr.hdr.Off:hi-fr.hdr.Off])
+		lo := max(fr.Header.Off, off)
+		hi := min(fr.Header.Off+int64(fr.Header.RawLen), off+int64(len(p)))
+		copy(p[lo-off:hi-off], raw[lo-fr.Header.Off:hi-fr.Header.Off])
 	}
 	return nil
 }
@@ -542,9 +557,9 @@ func (e *fileEntry) readFramedInto(p []byte, off int64) error {
 // don't serialize behind one inflater) and publish it to the cache;
 // published buffers are never mutated, so the slice stays valid after
 // the lock drops.
-func (e *fileEntry) decodeFrame(fr frameLoc) ([]byte, error) {
+func (e *fileEntry) decodeFrame(fr codec.FrameInfo) ([]byte, error) {
 	e.decMu.Lock()
-	if e.decHave && e.decPos == fr.pos {
+	if e.decHave && e.decPos == fr.Pos {
 		raw := e.decBuf
 		e.decMu.Unlock()
 		return raw, nil
@@ -552,24 +567,24 @@ func (e *fileEntry) decodeFrame(fr frameLoc) ([]byte, error) {
 	gen := e.decGen
 	e.decMu.Unlock()
 	if e.pf != nil {
-		if raw := e.pf.takeFrame(fr.pos); raw != nil {
+		if raw := e.pf.takeFrame(fr.Pos); raw != nil {
 			// A worker already fetched and decoded this frame; promote it
 			// into the one-frame cache (decoded frames are immutable, so
 			// ownership transfers) under the same generation guard as a
 			// fresh decode.
 			e.decMu.Lock()
 			if e.decGen == gen {
-				e.decBuf, e.decPos, e.decHave = raw, fr.pos, true
+				e.decBuf, e.decPos, e.decHave = raw, fr.Pos, true
 			}
 			e.decMu.Unlock()
 			return raw, nil
 		}
 	}
-	enc := make([]byte, fr.hdr.EncLen)
-	if _, err := e.backendFile.ReadAt(enc, fr.pos+codec.HeaderSize); err != nil {
-		return nil, fmt.Errorf("core: frame payload at %d: %w", fr.pos, err)
+	enc := make([]byte, fr.Header.EncLen)
+	if _, err := e.backendFile.ReadAt(enc, fr.Pos+codec.HeaderSize); err != nil {
+		return nil, fmt.Errorf("core: frame payload at %d: %w", fr.Pos, err)
 	}
-	raw, err := codec.DecodeFrame(fr.hdr, enc, nil)
+	raw, err := codec.DecodeFrame(fr.Header, enc, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", e.pathName(), err)
 	}
@@ -578,7 +593,7 @@ func (e *fileEntry) decodeFrame(fr frameLoc) ([]byte, error) {
 		// Don't poison the cache if the container was reset while we
 		// decoded: positions restart from zero after a truncate, so pos
 		// alone would alias old and new frames.
-		e.decBuf, e.decPos, e.decHave = raw, fr.pos, true
+		e.decBuf, e.decPos, e.decHave = raw, fr.Pos, true
 	}
 	e.decMu.Unlock()
 	return raw, nil
@@ -724,7 +739,7 @@ func (e *fileEntry) extendContainer(size int64) error {
 		return err
 	}
 	e.mu.Lock()
-	e.addFrameLocked(frameLoc{hdr: hdr, pos: pos})
+	e.addFrameLocked(codec.FrameInfo{Header: hdr, Pos: pos})
 	if size > e.logicalSize {
 		e.logicalSize = size
 	}

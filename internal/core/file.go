@@ -123,14 +123,17 @@ func (f *file) Truncate(size int64) error {
 }
 
 // Sync implements vfs.File: enqueue the current buffer chunk, wait for all
-// outstanding chunk writes, then fsync the backend file (§IV-D.2).
+// outstanding chunk writes, then fsync the backend file (§IV-D.2). A
+// backend write failure is reported by exactly one Sync or Close of the
+// entry — the drain that first observes it — not echoed by every later
+// call.
 func (f *file) Sync() error {
 	if err := f.checkOpen(); err != nil {
 		return err
 	}
 	e := f.entry
 	e.flushTail()
-	if err := e.waitDrained(); err != nil {
+	if err := e.drainReport(); err != nil {
 		return err
 	}
 	f.fs.stats.syncs.Add(1)
@@ -161,7 +164,7 @@ func (f *file) Close() error {
 
 	e := f.entry
 	e.flushTail()
-	drainErr := e.waitDrained()
+	drainErr := e.drainReport()
 	if drainErr == nil && f.fs.opts.SyncOnClose && f.flag.Writable() {
 		drainErr = e.backendFile.Sync()
 	}

@@ -128,6 +128,9 @@ func (fs *FS) writeChunk(c *chunk) {
 		fs.stats.backendWrites.Add(1)
 		fs.stats.backendBytes.Add(fill)
 	}
+	if err != nil {
+		fs.stats.failedChunks.Add(1)
+	}
 	// Retire what this completion unblocks (in-flight prefix of done
 	// chunks), then drop those pipeline references; a reader still
 	// copying from a chunk holds a pin, and the last unpin recycles
@@ -185,7 +188,7 @@ func (fs *FS) writeFramed(e *fileEntry, c *chunk) error {
 		return werr
 	}
 	e.mu.Lock()
-	e.addFrameLocked(frameLoc{hdr: hdr, pos: pos})
+	e.addFrameLocked(codec.FrameInfo{Header: hdr, Pos: pos})
 	e.mu.Unlock()
 	return nil
 }
@@ -317,6 +320,21 @@ func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 		bf.Close()
 		return nil, indexErr
 	}
+	if entry.pendingRepair >= 0 {
+		// RepairOnOpen: cut the salvaged container's torn tail off the
+		// backend file, while the entry is still private and fs.mu
+		// excludes both sharers and re-probes — the same window the
+		// deferred Trunc below uses. The cost is one backend ftruncate on
+		// the rare damaged-container open.
+		if err := fs.backend.Truncate(key, entry.pendingRepair); err != nil {
+			fs.mu.Unlock()
+			bf.Close()
+			return nil, fmt.Errorf("core: open %s: repair: %w", key, err)
+		}
+		entry.pendingRepair = -1
+		fs.stats.containersRepaired.Add(1)
+		fs.invalidateProbe(key)
+	}
 	if trunc {
 		// Apply the deferred truncation while the entry is still private
 		// and fs.mu excludes sharers: published-then-truncated would let
@@ -344,6 +362,12 @@ func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 // plain files always stay passthrough — a raw mount writes bytes
 // identical to a codec-less build, and a codec mount never frames into
 // the middle of a plain file.
+//
+// A container whose tail fails to parse — the signature of a crash
+// mid-append — is salvaged instead of refused: the entry serves the
+// longest intact frame prefix, new frames append right after it, and
+// with Options.RepairOnOpen the backend file is truncated to the prefix
+// once the entry wins the table race (see Open).
 func (fs *FS) indexEntry(entry *fileEntry, key string, flag vfs.OpenFlag, size int64) error {
 	if size < codec.HeaderSize {
 		if size == 0 && fs.opts.framedWrites() {
@@ -365,66 +389,128 @@ func (fs *FS) indexEntry(entry *fileEntry, key string, flag vfs.OpenFlag, size i
 		defer tmp.Close()
 		r = tmp
 	}
-	frames, logical, nextSeq, sniffed, ok, perr := probeContainer(r, size)
+	probe, perr := probeContainer(r, size)
 	if perr != nil {
 		// Could not read the prefix at all: refuse rather than guess —
 		// writing plain bytes into what may be a container would corrupt
 		// it, and a read-only open would misreport sizes.
 		return fmt.Errorf("core: open %s: sniff: %w", key, perr)
 	}
-	if !ok {
-		// Magic mismatch, or matched but the parse/scan failed. For
-		// reads, failure demotes the file to plain passthrough: a plain
-		// file that merely begins with the magic bytes must stay
+	for attempt := 0; probe.salvaged && attempt < 3; attempt++ {
+		// A salvage verdict must not come from a probe that raced another
+		// writer (a closing entry's tail landing, a direct backend write):
+		// transient holes look exactly like a torn tail, and acting on the
+		// stale probe would hide — or with RepairOnOpen, destroy — frames
+		// that are about to be durable. Only a verdict confirmed by a
+		// stable backend size stands; a file that keeps churning refuses
+		// the open rather than guess.
+		after, serr := fs.backend.Stat(key)
+		if serr != nil {
+			return fmt.Errorf("core: open %s: sniff: %w", key, serr)
+		}
+		if after.Size == size {
+			break
+		}
+		size = after.Size
+		if probe, perr = probeContainer(r, size); perr != nil {
+			return fmt.Errorf("core: open %s: sniff: %w", key, perr)
+		}
+		if probe.salvaged && attempt == 2 {
+			return fmt.Errorf("core: open %s: torn container changing underfoot: %w", key, codec.ErrCorrupt)
+		}
+	}
+	if probe.sniffed {
+		fs.stats.containersScanned.Add(1)
+	}
+	if !probe.ok {
+		// Magic mismatch, or matched but nothing salvageable behind it.
+		// For reads, failure demotes the file to plain passthrough: a
+		// plain file that merely begins with the magic bytes must stay
 		// readable (seed behavior), at the price that a damaged
 		// container reads back as its encoded stream — a state
 		// application checksums catch. On codec mounts, a *writable*
 		// open of such a file is refused instead: plain writes would
-		// land over a torn container's still-intact frames and compound
-		// the damage (truncate/Trunc rewrites remain available for
+		// land over what may still be container bytes and compound the
+		// damage (truncate/Trunc rewrites remain available for
 		// recovery). Raw mounts keep full seed passthrough — they
 		// promise byte-identical behavior, including for plain files
 		// that merely begin with the magic.
-		if sniffed && flag.Writable() && fs.opts.framedWrites() {
+		if probe.sniffed && flag.Writable() && fs.opts.framedWrites() {
 			return fmt.Errorf("core: open %s: damaged frame container (writable open refused; truncate to rewrite): %w",
 				key, codec.ErrCorrupt)
 		}
 		return nil
 	}
 	entry.framed = true
-	entry.setFrames(frames)
-	entry.logicalSize = logical
+	entry.setFrames(probe.frames)
+	entry.logicalSize = probe.logical
 	entry.appendOff = size
-	entry.frameSeq = nextSeq
+	entry.frameSeq = probe.nextSeq
+	if probe.salvaged {
+		// Appends land immediately after the intact prefix, overwriting
+		// the junk, so the container stays a parseable prefix even if the
+		// junk is never repaired away.
+		entry.appendOff = probe.report.IntactBytes
+		fs.stats.containersSalvaged.Add(1)
+		fs.stats.salvageFramesDropped.Add(int64(probe.report.FramesDropped))
+		fs.stats.salvageBytesTruncated.Add(probe.report.TruncatedBytes)
+		if fs.opts.RepairOnOpen {
+			entry.pendingRepair = probe.report.IntactBytes
+		}
+	}
 	return nil
 }
 
+// containerProbe is the result of probing a file for a frame container.
+type containerProbe struct {
+	frames   []codec.FrameInfo
+	logical  int64
+	nextSeq  uint64
+	sniffed  bool // the magic matched
+	ok       bool // a (possibly salvaged) container index was built
+	salvaged bool // the tail was torn; frames is the intact prefix
+	report   codec.SalvageReport
+}
+
 // probeContainer reads a file's prefix and, when the frame magic
-// matches, parses and scans the index. sniffed reports a magic match;
-// ok reports a valid container; err reports that the prefix could not
-// be read at all (an IO failure, distinct from a mismatch — the caller
-// must not guess plain-vs-container in that case). Both Open and Stat
-// route through this single probe so demotion policy cannot drift
+// matches, parses and scans the index. A scan failure triggers salvage:
+// a container with at least one intact frame — or a parseable first
+// header, the signature of a brand-new container torn inside its first
+// frame — is served from its intact prefix rather than demoted. err
+// reports that the prefix could not be read at all (an IO failure,
+// distinct from a mismatch — the caller must not guess
+// plain-vs-container in that case). Open, Stat, and Truncate all route
+// through this single probe so classification policy cannot drift
 // between them.
-func probeContainer(r backendHandle, size int64) (frames []frameLoc, logical int64, nextSeq uint64, sniffed, ok bool, err error) {
+func probeContainer(r backendHandle, size int64) (containerProbe, error) {
+	var p containerProbe
 	if size < codec.HeaderSize {
-		return nil, 0, 0, false, false, nil
+		return p, nil
 	}
 	hdr := make([]byte, codec.HeaderSize)
 	if _, rerr := r.ReadAt(hdr, 0); rerr != nil {
-		return nil, 0, 0, false, false, rerr
+		return p, rerr
 	}
 	if !codec.Sniff(hdr) {
-		return nil, 0, 0, false, false, nil
+		return p, nil
 	}
-	if _, perr := codec.ParseHeader(hdr); perr != nil {
-		return nil, 0, 0, true, false, nil
+	p.sniffed = true
+	if frames, _, stopErr := codec.ScanPrefix(r, size); stopErr == nil {
+		p.frames, p.ok = frames, true
+		p.logical, p.nextSeq = frameExtent(frames)
+		return p, nil
 	}
-	frames, logical, nextSeq, serr := scanFrames(r, size)
-	if serr != nil {
-		return nil, 0, 0, true, false, nil
+	frames, report, err := codec.Salvage(r, size)
+	if err != nil || (len(frames) == 0 && !report.FirstHeaderValid) {
+		// Unreadable mid-scan, or nothing frame-like beyond the magic
+		// bytes: keep the seed demote-to-plain policy. (A transient read
+		// failure must not salvage-truncate a healthy container, and a
+		// plain file starting with "CRFC" must stay readable.)
+		return p, nil
 	}
-	return frames, logical, nextSeq, true, true, nil
+	p.frames, p.ok, p.salvaged, p.report = frames, true, true, report
+	p.logical, p.nextSeq = frameExtent(frames)
+	return p, nil
 }
 
 // releaseEntry decrements the entry's refcount and, on the last close,
@@ -650,8 +736,12 @@ func (fs *FS) sniffLogicalSize(name string, info vfs.FileInfo) (int64, bool) {
 		// a stat-heavy walk must not re-open every such file on every pass.
 		probe := statProbe{size: info.Size, modTime: mod, logical: info.Size}
 		if f, err := fs.backend.Open(key, vfs.ReadOnly); err == nil {
-			if _, logical, _, _, ok, perr := probeContainer(f, info.Size); perr == nil && ok {
-				probe.logical, probe.framed = logical, true
+			// Salvaged verdicts count here too: Stat must report the
+			// logical size the mount's reads will serve, which for a torn
+			// container is the intact prefix. The probe never mutates —
+			// repair happens only on the Open path.
+			if p, perr := probeContainer(f, info.Size); perr == nil && p.ok {
+				probe.logical, probe.framed = p.logical, true
 			}
 			f.Close()
 		}
@@ -739,7 +829,9 @@ func (fs *FS) Truncate(name string, size int64) error {
 		var logical int64
 		f, err := fs.backend.Open(name, vfs.ReadOnly)
 		if err == nil {
-			_, logical, _, _, ok, err = probeContainer(f, info.Size)
+			var p containerProbe
+			p, err = probeContainer(f, info.Size)
+			ok, logical = p.ok, p.logical
 			f.Close()
 		}
 		if err != nil {
@@ -800,7 +892,7 @@ func (fs *FS) SyncAll() error {
 		e.flushTail()
 	}
 	for _, e := range entries {
-		if err := e.waitDrained(); err != nil && firstErr == nil {
+		if err := e.drainReport(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -834,7 +926,7 @@ func (fs *FS) Unmount() error {
 		e.flushTail()
 	}
 	for _, e := range entries {
-		if err := e.waitDrained(); err != nil && firstErr == nil {
+		if err := e.drainReport(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if e.pf != nil {

@@ -83,7 +83,7 @@ func FuzzProbeContainer(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h := &fuzzHandle{data: data}
 		size := int64(len(data))
-		frames, logical, nextSeq, sniffed, ok, err := probeContainer(h, size)
+		p, err := probeContainer(h, size)
 		// A header read may start just inside the file and run one header
 		// past its end (short read -> EOF -> clean error); anything beyond
 		// that bound would be reading unrelated bytes on a real backend.
@@ -93,47 +93,65 @@ func FuzzProbeContainer(f *testing.F) {
 		if err != nil {
 			t.Fatalf("in-memory reads cannot fail, got %v", err)
 		}
-		if !sniffed && ok {
+		if !p.sniffed && p.ok {
 			t.Fatal("ok without a magic match")
 		}
-		if !ok {
-			if len(frames) != 0 || logical != 0 || nextSeq != 0 {
+		if !p.ok {
+			if len(p.frames) != 0 || p.logical != 0 || p.nextSeq != 0 {
 				t.Fatalf("rejected probe leaked results: %d frames, logical %d, seq %d",
-					len(frames), logical, nextSeq)
+					len(p.frames), p.logical, p.nextSeq)
 			}
 			return
 		}
-		// Accepted: the index must be consistent with the raw bytes.
+		// Accepted (clean or salvaged): the index must be a consistent
+		// byte prefix of the container.
 		var wantLogical int64
 		off := int64(0)
-		for _, fr := range frames {
-			if fr.pos != off {
-				t.Fatalf("frame at pos %d, scan order says %d", fr.pos, off)
+		for _, fr := range p.frames {
+			if fr.Pos != off {
+				t.Fatalf("frame at pos %d, scan order says %d", fr.Pos, off)
 			}
-			end := fr.pos + codec.HeaderSize + int64(fr.hdr.EncLen)
+			end := fr.End()
 			if end > size {
 				t.Fatalf("accepted frame overruns container: %d > %d", end, size)
 			}
-			if fr.hdr.Off < 0 || fr.hdr.Off > codec.MaxLogicalOff {
-				t.Fatalf("accepted frame with implausible offset %d", fr.hdr.Off)
+			if fr.Header.Off < 0 || fr.Header.Off > codec.MaxLogicalOff {
+				t.Fatalf("accepted frame with implausible offset %d", fr.Header.Off)
 			}
-			if fr.hdr.Seq >= nextSeq {
-				t.Fatalf("frame seq %d >= nextSeq %d", fr.hdr.Seq, nextSeq)
+			if fr.Header.Seq >= p.nextSeq {
+				t.Fatalf("frame seq %d >= nextSeq %d", fr.Header.Seq, p.nextSeq)
 			}
-			if e := fr.hdr.Off + int64(fr.hdr.RawLen); e > wantLogical {
+			if e := fr.Header.Off + int64(fr.Header.RawLen); e > wantLogical {
 				wantLogical = e
 			}
 			off = end
 		}
-		if off != size {
-			t.Fatalf("accepted container with %d trailing bytes unaccounted", size-off)
+		if p.salvaged {
+			// Salvage keeps a strict prefix and accounts for every byte:
+			// intact prefix + truncated tail must equal the file.
+			if p.report.IntactBytes != off {
+				t.Fatalf("salvage reports %d intact bytes, frames end at %d", p.report.IntactBytes, off)
+			}
+			if p.report.IntactBytes+p.report.TruncatedBytes != size {
+				t.Fatalf("salvage accounts %d+%d bytes of a %d-byte file",
+					p.report.IntactBytes, p.report.TruncatedBytes, size)
+			}
+			if p.report.TruncatedBytes <= 0 {
+				t.Fatal("salvaged probe with nothing truncated")
+			}
+			if len(p.frames) == 0 && !p.report.FirstHeaderValid {
+				t.Fatal("salvaged to empty without a parseable first header")
+			}
+		} else if off != size {
+			t.Fatalf("clean container with %d trailing bytes unaccounted", size-off)
 		}
-		if logical != wantLogical {
-			t.Fatalf("logical %d, frames say %d", logical, wantLogical)
+		if p.logical != wantLogical {
+			t.Fatalf("logical %d, frames say %d", p.logical, wantLogical)
 		}
 		// Determinism: probing the same bytes again agrees.
-		frames2, logical2, nextSeq2, sniffed2, ok2, err2 := probeContainer(&fuzzHandle{data: data}, size)
-		if err2 != nil || !ok2 || !sniffed2 || logical2 != logical || nextSeq2 != nextSeq || len(frames2) != len(frames) {
+		p2, err2 := probeContainer(&fuzzHandle{data: data}, size)
+		if err2 != nil || !p2.ok || !p2.sniffed || p2.logical != p.logical ||
+			p2.nextSeq != p.nextSeq || len(p2.frames) != len(p.frames) || p2.salvaged != p.salvaged {
 			t.Fatal("probe is not deterministic")
 		}
 	})

@@ -126,7 +126,7 @@ func (pf *prefetcher) schedule(from int64) {
 	e.mu.Lock()
 	framed := e.framed
 	size := e.logicalSize
-	var locs []frameLoc
+	var locs []codec.FrameInfo
 	if framed {
 		locs = e.nextFramesLocked(from, pf.depth())
 	}
@@ -140,14 +140,14 @@ func (pf *prefetcher) schedule(from int64) {
 			if len(pf.pending) >= pf.depth() {
 				break
 			}
-			if _, ok := pf.ready[fr.pos]; ok {
+			if _, ok := pf.ready[fr.Pos]; ok {
 				continue
 			}
-			if _, ok := pf.pending[fr.pos]; ok {
+			if _, ok := pf.pending[fr.Pos]; ok {
 				continue
 			}
-			pf.pending[fr.pos] = &pendingFetch{}
-			jobs = append(jobs, prefetchJob{e: e, gen: gen, key: fr.pos, framed: true, fr: fr})
+			pf.pending[fr.Pos] = &pendingFetch{}
+			jobs = append(jobs, prefetchJob{e: e, gen: gen, key: fr.Pos, framed: true, fr: fr})
 		}
 	} else {
 		bs := pf.fs.opts.ChunkSize
@@ -180,13 +180,13 @@ func (pf *prefetcher) schedule(from int64) {
 // it to get here, and it lives in the one-frame decode cache, so
 // re-fetching it would only produce a wasted duplicate. Pad frames
 // (RawLen 0) are skipped. Caller holds e.mu.
-func (e *fileEntry) nextFramesLocked(from int64, n int) []frameLoc {
+func (e *fileEntry) nextFramesLocked(from int64, n int) []codec.FrameInfo {
 	lo := sort.Search(len(e.frames), func(i int) bool {
-		return e.frames[i].hdr.Off >= from
+		return e.frames[i].Header.Off >= from
 	})
-	out := make([]frameLoc, 0, n)
+	out := make([]codec.FrameInfo, 0, n)
 	for i := lo; i < len(e.frames) && len(out) < n; i++ {
-		if fr := e.frames[i]; fr.hdr.RawLen > 0 {
+		if fr := e.frames[i]; fr.Header.RawLen > 0 {
 			out = append(out, fr)
 		}
 	}
@@ -383,7 +383,7 @@ type prefetchJob struct {
 	key    int64  // cache key: block start (plain) or frame pos (framed)
 	n      int64  // plain: block length to fetch
 	framed bool
-	fr     frameLoc // framed: the frame to decode
+	fr     codec.FrameInfo // framed: the frame to decode
 }
 
 // runPrefetch executes one job on an IO worker. The job first claims its
@@ -411,17 +411,17 @@ func (fs *FS) runPrefetch(j prefetchJob) {
 		return
 	}
 	if j.framed {
-		enc := make([]byte, j.fr.hdr.EncLen)
-		if _, err := e.backendFile.ReadAt(enc, j.fr.pos+codec.HeaderSize); err != nil {
+		enc := make([]byte, j.fr.Header.EncLen)
+		if _, err := e.backendFile.ReadAt(enc, j.fr.Pos+codec.HeaderSize); err != nil {
 			pf.drop(j.key)
 			return
 		}
-		raw, err := codec.DecodeFrame(j.fr.hdr, enc, nil)
+		raw, err := codec.DecodeFrame(j.fr.Header, enc, nil)
 		if err != nil {
 			pf.drop(j.key)
 			return
 		}
-		pf.publish(j.key, &prefetched{start: j.fr.hdr.Off, buf: raw}, j.gen)
+		pf.publish(j.key, &prefetched{start: j.fr.Header.Off, buf: raw}, j.gen)
 		return
 	}
 	c := fs.pool.tryGet()

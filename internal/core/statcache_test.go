@@ -51,19 +51,35 @@ func TestStatCacheInvalidatedBySizeChange(t *testing.T) {
 	if got := statSize(t, fs, "ckpt"); got != 500 {
 		t.Fatalf("container logical size = %d, want 500", got)
 	}
-	// Behind-the-back growth: append garbage so the file stops being a
-	// valid container. The probe must re-run and demote to the raw size.
+	// Behind-the-back growth: append a second frame extending the
+	// container. The probe must re-run and report the new logical size.
+	frame2, _, err := codec.EncodeFrame(codec.Raw(), 1, 500, make([]byte, 200), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	f, err := back.Open("ckpt", vfs.ReadWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteAt([]byte("trailing garbage"), 500+codec.HeaderSize); err != nil {
+	if _, err := f.WriteAt(frame2, 500+codec.HeaderSize); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
-	want := int64(500+codec.HeaderSize) + int64(len("trailing garbage"))
-	if got := statSize(t, fs, "ckpt"); got != want {
-		t.Fatalf("after behind-the-back append: size = %d, want raw %d", got, want)
+	if got := statSize(t, fs, "ckpt"); got != 700 {
+		t.Fatalf("after behind-the-back append: size = %d, want 700", got)
+	}
+	// Garbage growth now salvages instead of demoting: Stat keeps
+	// reporting the intact prefix's logical size.
+	g, err := back.Open("ckpt", vfs.ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.WriteAt([]byte("trailing garbage"), 700+2*codec.HeaderSize); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if got := statSize(t, fs, "ckpt"); got != 700 {
+		t.Fatalf("after garbage append: size = %d, want salvaged 700", got)
 	}
 }
 

@@ -27,6 +27,13 @@ type statCounters struct {
 	readsFromBuffer   atomic.Int64
 	readDrainsAvoided atomic.Int64
 
+	failedChunks          atomic.Int64
+	containersScanned     atomic.Int64
+	containersSalvaged    atomic.Int64
+	containersRepaired    atomic.Int64
+	salvageFramesDropped  atomic.Int64
+	salvageBytesTruncated atomic.Int64
+
 	prefetchHits   atomic.Int64
 	prefetchMisses atomic.Int64
 	prefetchWasted atomic.Int64
@@ -91,6 +98,25 @@ type Stats struct {
 	PrefetchWasted int64
 	// PrefetchedBytes is the total bytes published into read-ahead caches.
 	PrefetchedBytes int64
+	// FailedChunks counts aggregation chunks whose backend write failed;
+	// each failure is reported to the application exactly once, at the
+	// next Sync or Close of the file.
+	FailedChunks int64
+	// ContainersScanned counts opens that probed a frame container
+	// (the magic matched and an index scan ran).
+	ContainersScanned int64
+	// ContainersSalvaged counts containers whose torn tail was dropped at
+	// open, with reads served from the longest intact frame prefix.
+	ContainersSalvaged int64
+	// ContainersRepaired counts salvaged containers whose backend file
+	// was truncated to the intact prefix (Options.RepairOnOpen).
+	ContainersRepaired int64
+	// SalvageFramesDropped is the best-effort count of frames lost past
+	// the tears of salvaged containers.
+	SalvageFramesDropped int64
+	// SalvageBytesTruncated is the container bytes dropped past the
+	// intact prefixes of salvaged containers.
+	SalvageBytesTruncated int64
 }
 
 // AggregationRatio returns application writes per backend write, the
@@ -137,6 +163,19 @@ func (s Stats) Prefetch() metrics.PrefetchStats {
 	}
 }
 
+// Recovery returns the crash-recovery activity as a
+// metrics.RecoveryStats summary.
+func (s Stats) Recovery() metrics.RecoveryStats {
+	return metrics.RecoveryStats{
+		Scanned:        s.ContainersScanned,
+		Salvaged:       s.ContainersSalvaged,
+		Repaired:       s.ContainersRepaired,
+		FramesDropped:  s.SalvageFramesDropped,
+		BytesTruncated: s.SalvageBytesTruncated,
+		FailedChunks:   s.FailedChunks,
+	}
+}
+
 // Stats returns a snapshot of the mount's counters.
 func (fs *FS) Stats() Stats {
 	return Stats{
@@ -160,5 +199,12 @@ func (fs *FS) Stats() Stats {
 		PrefetchMisses:    fs.stats.prefetchMisses.Load(),
 		PrefetchWasted:    fs.stats.prefetchWasted.Load(),
 		PrefetchedBytes:   fs.stats.prefetchBytes.Load(),
+
+		FailedChunks:          fs.stats.failedChunks.Load(),
+		ContainersScanned:     fs.stats.containersScanned.Load(),
+		ContainersSalvaged:    fs.stats.containersSalvaged.Load(),
+		ContainersRepaired:    fs.stats.containersRepaired.Load(),
+		SalvageFramesDropped:  fs.stats.salvageFramesDropped.Load(),
+		SalvageBytesTruncated: fs.stats.salvageBytesTruncated.Load(),
 	}
 }

@@ -11,8 +11,10 @@
 package memfs
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -49,6 +51,22 @@ func WithWriteError(n int, err error) Option {
 	}
 }
 
+// ErrTornWrite is the error a write torn by WithTornWrite fails with.
+var ErrTornWrite = errors.New("memfs: torn write")
+
+// WithTornWrite arranges for the write after the first n successful
+// writes (counted across all files, like WithWriteError) to persist only
+// the first ceil(frac*len) bytes of its payload before failing with
+// ErrTornWrite — the backend-visible signature of a power cut mid-write.
+// Exactly one write is torn; later writes succeed, so error paths can be
+// exercised without the full crashfs harness. n < 0 disables injection.
+func WithTornWrite(n int, frac float64) Option {
+	return func(m *FS) {
+		m.tornAfter = n
+		m.tornFrac = frac
+	}
+}
+
 // WithCapacity bounds the total number of stored bytes; writes beyond the
 // bound fail with vfs.ErrNoSpace, like a full device.
 func WithCapacity(n int64) Option { return func(m *FS) { m.capacity = n } }
@@ -71,6 +89,9 @@ type FS struct {
 	readDelay  time.Duration
 	failAfter  int
 	failErr    error
+	tornAfter  int
+	tornFrac   float64
+	tornDone   bool
 	writes     int // completed writes, for failure injection
 	capacity   int64
 	used       int64
@@ -90,6 +111,7 @@ func New(opts ...Option) *FS {
 	m := &FS{
 		nodes:     map[string]*node{".": {isDir: true, children: map[string]bool{}}},
 		failAfter: -1,
+		tornAfter: -1,
 		capacity:  -1,
 		now:       time.Now,
 	}
@@ -395,6 +417,22 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	if m.failAfter >= 0 && m.writes >= m.failAfter {
 		return 0, fmt.Errorf("memfs: write %s: injected: %w", f.name, m.failErr)
 	}
+	var tornErr error
+	if m.tornAfter >= 0 && !m.tornDone && m.writes >= m.tornAfter {
+		// Power-cut simulation: persist a prefix, then fail. The torn
+		// write still advances the write counter (it happened, partially)
+		// but is not counted as a completed write in the stats.
+		m.tornDone = true
+		keep := int(math.Ceil(m.tornFrac * float64(len(p))))
+		keep = max(0, min(keep, len(p)))
+		tornErr = fmt.Errorf("memfs: write %s: injected: %w", f.name, ErrTornWrite)
+		if keep == 0 {
+			// Nothing persisted: the file must not even grow.
+			m.writes++
+			return 0, tornErr
+		}
+		p = p[:keep]
+	}
 	end := off + int64(len(p))
 	if !m.discard {
 		grow := end - int64(len(f.node.data))
@@ -414,6 +452,9 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	}
 	f.node.modTime = m.now()
 	m.writes++
+	if tornErr != nil {
+		return len(p), tornErr
+	}
 	m.statWrites++
 	m.statWrBytes += int64(len(p))
 	return len(p), nil

@@ -252,6 +252,51 @@ func TestWriteErrorInjection(t *testing.T) {
 	}
 }
 
+func TestTornWriteInjection(t *testing.T) {
+	m := New(WithTornWrite(1, 0.5))
+	f, _ := m.Open("f", vfs.WriteOnly|vfs.Create)
+	defer f.Close()
+	if _, err := f.WriteAt([]byte("durable!"), 0); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	// The second write tears: half the payload persists, then it fails.
+	n, err := f.WriteAt([]byte("torntorn"), 8)
+	if !errors.Is(err, ErrTornWrite) {
+		t.Fatalf("torn write error = %v, want ErrTornWrite", err)
+	}
+	if n != 4 {
+		t.Fatalf("torn write persisted %d bytes, want 4", n)
+	}
+	if info, _ := m.Stat("f"); info.Size != 12 {
+		t.Fatalf("size after torn write = %d, want 12", info.Size)
+	}
+	// Exactly one write is torn; later writes succeed.
+	if _, err := f.WriteAt([]byte("recovered"), 12); err != nil {
+		t.Fatalf("write after tear: %v", err)
+	}
+	got, err := vfs.ReadFile(m, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "durable!tornrecovered" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestTornWriteZeroFraction(t *testing.T) {
+	m := New(WithTornWrite(0, 0))
+	f, _ := m.Open("f", vfs.WriteOnly|vfs.Create)
+	defer f.Close()
+	n, err := f.WriteAt([]byte("gone"), 0)
+	if !errors.Is(err, ErrTornWrite) || n != 0 {
+		t.Fatalf("zero-fraction tear = (%d, %v), want (0, ErrTornWrite)", n, err)
+	}
+	// Nothing persisted: the file must not have grown.
+	if info, _ := m.Stat("f"); info.Size != 0 {
+		t.Fatalf("size after zero-fraction tear = %d, want 0", info.Size)
+	}
+}
+
 func TestCapacity(t *testing.T) {
 	m := New(WithCapacity(10))
 	f, _ := m.Open("f", vfs.WriteOnly|vfs.Create)

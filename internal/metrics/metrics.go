@@ -248,6 +248,37 @@ type PrefetchStats struct {
 	Bytes  int64 // bytes published into read-ahead caches
 }
 
+// RecoveryStats summarizes the crash-recovery subsystem of a real CRFS
+// mount: how many frame containers were probed at open, how many had a
+// torn tail salvaged back to their longest intact frame prefix, how many
+// were repaired in place (RepairOnOpen), and what the tears cost. It is
+// the observability face of the durability contract: a checkpoint store
+// that salvages instead of refusing keeps every intact frame a crash
+// left behind.
+type RecoveryStats struct {
+	Scanned        int64 // containers probed at open (magic matched, scan ran)
+	Salvaged       int64 // containers with a torn tail served from the intact prefix
+	Repaired       int64 // salvaged containers truncated to the prefix on the backend
+	FramesDropped  int64 // frames lost past the tears (best-effort resync count)
+	BytesTruncated int64 // container bytes dropped past the intact prefixes
+	FailedChunks   int64 // chunk writes that failed (each reported once at Sync/Close)
+}
+
+// SalvageRate returns the fraction of scanned containers that needed
+// salvage. 0 means every container scanned clean (or none were scanned).
+func (r RecoveryStats) SalvageRate() float64 {
+	if r.Scanned == 0 {
+		return 0
+	}
+	return float64(r.Salvaged) / float64(r.Scanned)
+}
+
+// Format renders the summary as a one-line report.
+func (r RecoveryStats) Format() string {
+	return fmt.Sprintf("recovery: scanned=%d salvaged=%d repaired=%d frames-dropped=%d bytes-truncated=%d failed-chunks=%d",
+		r.Scanned, r.Salvaged, r.Repaired, r.FramesDropped, r.BytesTruncated, r.FailedChunks)
+}
+
 // HitRate returns the fraction of cache-consulting base reads served
 // from prefetched data. 0 means read-ahead never served a byte.
 func (p PrefetchStats) HitRate() float64 {
