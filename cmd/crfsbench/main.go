@@ -32,13 +32,31 @@
 // overwrite workload is recorded through a mount over the power-cut
 // fault-injection backend, then every crash point (each mutation
 // boundary plus torn cuts inside each write) is replayed, remounted,
-// and checked against the durability contract. The run exits non-zero
-// on any violation:
+// and checked against the durability contract — including, in the
+// compaction rows, with online compaction rewriting containers both
+// during the recorded workload and at every crash state. The run exits
+// non-zero on any violation:
 //
 //	crfsbench -crash
+//
+// -compact runs the space-amplification sweep: a rewrite-heavy
+// checkpoint workload (full write plus -rewrites overwrite passes)
+// accumulates dead frames, compaction rewrites the container to its
+// minimal equivalent, and the dead-byte ratio before/after is reported
+// (the run fails unless compaction drives it to ~0). The same mode then
+// measures scrub scaling: every frame of the container is re-verified
+// over a -delay-injected backend with 1 and 4 IO workers, reporting the
+// parallel speedup:
+//
+//	crfsbench -compact -codec deflate -size 8388608 -delay 200us
+//
+// -json switches every -real/-restart/-crash/-compact scenario to
+// machine-readable output: one JSON object per scenario on stdout, so
+// perf trajectories can be captured as BENCH_*.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -66,25 +84,32 @@ func main() {
 	restart := flag.Bool("restart", false, "with -real: write the file, then benchmark sequential restart reads")
 	readAhead := flag.Int("readahead", 0, "with -real -restart: read-ahead depth in chunks/frames (0 disables)")
 	crash := flag.Bool("crash", false, "run the crash-point enumeration harness and verify the durability contract")
+	compactRun := flag.Bool("compact", false, "run the space-amplification sweep (rewrite-heavy workload, compaction, scrub scaling)")
+	rewrites := flag.Int("rewrites", 4, "with -compact: overwrite passes over the checkpoint image")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per scenario instead of human-readable text")
 	flag.Parse()
 
-	if *crash {
-		if err := crashBench(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	emit := newEmitter(*jsonOut)
+	switch {
+	case *crash:
+		if err := crashBench(emit); err != nil {
+			fatal(err)
 		}
 		return
-	}
-	if *real {
+	case *compactRun:
+		if err := compactBench(emit, *codecName, *size, *bs, *entropy, *rewrites, *delay); err != nil {
+			fatal(err)
+		}
+		return
+	case *real:
 		var err error
 		if *restart {
-			err = restartBench(*codecName, *size, *bs, *entropy, *readAhead, *delay)
+			err = restartBench(emit, *codecName, *size, *bs, *entropy, *readAhead, *delay)
 		} else {
-			err = realBench(*codecName, *size, *bs, *entropy, *mix, *readFrac, *delay)
+			err = realBench(emit, *codecName, *size, *bs, *entropy, *mix, *readFrac, *delay)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		return
 	}
@@ -102,53 +127,119 @@ func main() {
 		start := time.Now()
 		rep, err := experiments.Run(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Print(rep.Format())
 		fmt.Printf("(regenerated in %.1fs)\n\n", time.Since(start).Seconds())
 	}
 }
 
-// crashBench sweeps the crash-point harness across the codec × repair
-// matrix on the standard mixed write/sync/overwrite workload, printing
-// one row per configuration. Any durability-contract violation fails
-// the run.
-func crashBench() error {
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// emitter routes each scenario's result: JSON mode encodes the result
+// object (one per line, BENCH_*.json-ready); human mode prints the
+// preformatted text lines instead.
+type emitter struct {
+	json bool
+	enc  *json.Encoder
+}
+
+func newEmitter(jsonOut bool) *emitter {
+	return &emitter{json: jsonOut, enc: json.NewEncoder(os.Stdout)}
+}
+
+// scenario emits one result: v in JSON mode, the human lines otherwise.
+func (e *emitter) scenario(v any, human ...string) {
+	if e.json {
+		if err := e.enc.Encode(v); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, line := range human {
+		fmt.Println(line)
+	}
+}
+
+// crashBench sweeps the crash-point harness across the codec × repair ×
+// compaction matrix on the standard mixed write/sync/overwrite workload,
+// one row (scenario) per configuration. Any durability-contract
+// violation fails the run.
+func crashBench(emit *emitter) error {
 	type cfg struct {
-		name   string
-		codec  crfs.Codec
-		repair bool
+		name       string
+		codec      crfs.Codec
+		repair     bool
+		compaction bool
 	}
 	matrix := []cfg{
-		{"raw", crfs.RawCodec(), false},
-		{"raw+repair", crfs.RawCodec(), true},
-		{"deflate", crfs.DeflateCodec(), false},
-		{"deflate+repair", crfs.DeflateCodec(), true},
+		{"raw", crfs.RawCodec(), false, false},
+		{"raw+repair", crfs.RawCodec(), true, false},
+		{"deflate", crfs.DeflateCodec(), false, false},
+		{"deflate+repair", crfs.DeflateCodec(), true, false},
+		{"deflate+compact", crfs.DeflateCodec(), false, true},
+		{"deflate+compact+repair", crfs.DeflateCodec(), true, true},
 	}
-	fmt.Printf("%-16s %10s %8s %10s %9s %9s %11s %10s\n",
-		"config", "mutations", "points", "violations", "salvaged", "repaired", "frames-lost", "bytes-cut")
+	if !emit.json {
+		fmt.Printf("%-24s %10s %8s %10s %9s %9s %11s %10s %9s %9s\n",
+			"config", "mutations", "points", "violations", "salvaged", "repaired", "frames-lost", "bytes-cut", "rec-cmpct", "pt-cmpct")
+	}
 	failed := false
 	for _, m := range matrix {
 		res, err := crashfs.RunHarness(crashfs.HarnessConfig{
-			Codec: m.codec, Repair: m.repair, Torn: true,
+			Codec: m.codec, Repair: m.repair, Torn: true, Compaction: m.compaction,
 		}, crashfs.MixedWorkload())
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-16s %10d %8d %10d %9d %9d %11d %10d\n",
-			m.name, res.Mutations, res.Points, len(res.Violations),
-			res.Salvaged, res.Repaired, res.FramesDropped, res.BytesTruncated)
+		emit.scenario(struct {
+			Scenario          string `json:"scenario"`
+			Config            string `json:"config"`
+			Mutations         int    `json:"mutations"`
+			Points            int    `json:"points"`
+			Violations        int    `json:"violations"`
+			Salvaged          int64  `json:"salvaged"`
+			Repaired          int64  `json:"repaired"`
+			FramesLost        int64  `json:"frames_lost"`
+			BytesCut          int64  `json:"bytes_cut"`
+			RecordCompactions int64  `json:"record_compactions"`
+			PointCompactions  int64  `json:"point_compactions"`
+		}{"crash", m.name, res.Mutations, res.Points, len(res.Violations),
+			res.Salvaged, res.Repaired, res.FramesDropped, res.BytesTruncated,
+			res.RecordCompactions, res.PointCompactions},
+			fmt.Sprintf("%-24s %10d %8d %10d %9d %9d %11d %10d %9d %9d",
+				m.name, res.Mutations, res.Points, len(res.Violations),
+				res.Salvaged, res.Repaired, res.FramesDropped, res.BytesTruncated,
+				res.RecordCompactions, res.PointCompactions))
 		for _, v := range res.Violations {
 			failed = true
 			fmt.Fprintf(os.Stderr, "  VIOLATION [%s]: %s\n", m.name, v)
+		}
+		if m.compaction && (res.RecordCompactions == 0 || res.PointCompactions == 0) {
+			failed = true
+			fmt.Fprintf(os.Stderr, "  [%s] compaction never exercised (record=%d point=%d)\n",
+				m.name, res.RecordCompactions, res.PointCompactions)
 		}
 	}
 	if failed {
 		return fmt.Errorf("crfsbench: durability contract violated")
 	}
-	fmt.Println("durability contract proven at every enumerated crash point")
+	if !emit.json {
+		fmt.Println("durability contract proven at every enumerated crash point (compaction included)")
+	}
 	return nil
+}
+
+// payloadPool builds the shared benchmark payload source: a sliding
+// window over a chunk-sized random pool, so repetition never appears
+// within one codec frame.
+func payloadPool(bs int) []byte {
+	pool := make([]byte, crfs.DefaultChunkSize+int64(bs))
+	rand.New(rand.NewSource(1)).Read(pool)
+	return pool
 }
 
 // realBench drives the real aggregation pipeline: checkpoint-sized writes
@@ -157,7 +248,7 @@ func crashBench() error {
 // already-written offsets are interleaved at the given fraction; they are
 // served by the buffered-read-through overlay, so the write pipeline
 // never drains mid-run.
-func realBench(codecName string, size int64, bs int, entropy float64, mix bool, readFrac float64, delay time.Duration) error {
+func realBench(emit *emitter, codecName string, size int64, bs int, entropy float64, mix bool, readFrac float64, delay time.Duration) error {
 	if entropy < 0 || entropy > 1 {
 		return fmt.Errorf("crfsbench: -entropy %v out of range [0,1]", entropy)
 	}
@@ -184,13 +275,9 @@ func realBench(codecName string, size int64, bs int, entropy float64, mix bool, 
 		fs.Unmount()
 		return err
 	}
-	// Payload: each write takes its incompressible fraction from a
-	// sliding window over a chunk-sized random pool (so repetition never
-	// appears within one codec frame) and zeros for the rest.
 	const poolLen = crfs.DefaultChunkSize
-	pool := make([]byte, poolLen+int64(bs))
+	pool := payloadPool(bs)
 	rng := rand.New(rand.NewSource(1))
-	rng.Read(pool)
 	buf := make([]byte, bs)
 	rbuf := make([]byte, bs)
 	nrand := int(float64(bs) * entropy)
@@ -222,16 +309,41 @@ func realBench(codecName string, size int64, bs int, entropy float64, mix bool, 
 	el := time.Since(start).Seconds()
 	st := fs.Stats()
 	moved := st.BytesWritten + st.BytesRead
-	fmt.Printf("real: codec=%s wrote %d bytes, read %d bytes in %.3fs (%.1f MB/s)\n",
-		cdc.Name(), st.BytesWritten, st.BytesRead, el, float64(moved)/el/(1<<20))
-	fmt.Printf("app writes: %d, backend writes: %d (aggregation %.1fx), backend bytes: %d\n",
-		st.Writes, st.BackendWrites, st.AggregationRatio(), st.BackendBytes)
+	scenario := "write"
+	if mix {
+		scenario = "mix"
+	}
+	human := []string{
+		fmt.Sprintf("real: codec=%s wrote %d bytes, read %d bytes in %.3fs (%.1f MB/s)",
+			cdc.Name(), st.BytesWritten, st.BytesRead, el, float64(moved)/el/(1<<20)),
+		fmt.Sprintf("app writes: %d, backend writes: %d (aggregation %.1fx), backend bytes: %d",
+			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BackendBytes),
+	}
 	if cs := st.Codec(); cs.Frames > 0 {
-		fmt.Println(cs.Format())
+		human = append(human, cs.Format())
 	}
 	if rp := st.ReadPath(); rp.Reads > 0 {
-		fmt.Println(rp.Format())
+		human = append(human, rp.Format())
 	}
+	emit.scenario(struct {
+		Scenario         string  `json:"scenario"`
+		Codec            string  `json:"codec"`
+		DelayUS          int64   `json:"delay_us"`
+		BytesWritten     int64   `json:"bytes_written"`
+		BytesRead        int64   `json:"bytes_read"`
+		Seconds          float64 `json:"seconds"`
+		MBps             float64 `json:"mbps"`
+		Writes           int64   `json:"writes"`
+		BackendWrites    int64   `json:"backend_writes"`
+		AggregationRatio float64 `json:"aggregation_ratio"`
+		BackendBytes     int64   `json:"backend_bytes"`
+		CodecRatio       float64 `json:"codec_ratio"`
+		ReadsFromBuffer  int64   `json:"reads_from_buffer"`
+		DrainsAvoided    int64   `json:"drains_avoided"`
+	}{scenario, cdc.Name(), delay.Microseconds(), st.BytesWritten, st.BytesRead, el,
+		float64(moved) / el / (1 << 20), st.Writes, st.BackendWrites, st.AggregationRatio(),
+		st.BackendBytes, st.CompressionRatio(), st.ReadsFromBuffer, st.ReadDrainsAvoided},
+		human...)
 	return nil
 }
 
@@ -240,7 +352,7 @@ func realBench(codecName string, size int64, bs int, entropy float64, mix bool, 
 // mount with the given read-ahead depth, every backend read paying the
 // synthetic latency. Comparing -readahead 0 against a positive depth
 // isolates what the prefetch pipeline hides.
-func restartBench(codecName string, size int64, bs int, entropy float64, readAhead int, delay time.Duration) error {
+func restartBench(emit *emitter, codecName string, size int64, bs int, entropy float64, readAhead int, delay time.Duration) error {
 	if entropy < 0 || entropy > 1 {
 		return fmt.Errorf("crfsbench: -entropy %v out of range [0,1]", entropy)
 	}
@@ -255,37 +367,7 @@ func restartBench(codecName string, size int64, bs int, entropy float64, readAhe
 		return err
 	}
 	back := memfs.New(memfs.WithReadDelay(delay))
-
-	// Checkpoint phase: land the image (write latency is not the point
-	// here; the backend delays reads only).
-	wfs, err := crfs.Mount(back, crfs.Options{Codec: cdc})
-	if err != nil {
-		return err
-	}
-	const poolLen = crfs.DefaultChunkSize
-	pool := make([]byte, poolLen+int64(bs))
-	rng := rand.New(rand.NewSource(1))
-	rng.Read(pool)
-	buf := make([]byte, bs)
-	nrand := int(float64(bs) * entropy)
-	w, err := wfs.Open("restart.img", crfs.WriteOnly|crfs.Create)
-	if err != nil {
-		wfs.Unmount()
-		return err
-	}
-	for off := int64(0); off < size; off += int64(bs) {
-		copy(buf[:nrand], pool[off%poolLen:])
-		if _, err := w.WriteAt(buf, off); err != nil {
-			w.Close()
-			wfs.Unmount()
-			return err
-		}
-	}
-	if err := w.Close(); err != nil {
-		wfs.Unmount()
-		return err
-	}
-	if err := wfs.Unmount(); err != nil {
+	if err := writeImage(back, "restart.img", cdc, size, bs, entropy, crfs.Options{Codec: cdc}); err != nil {
 		return err
 	}
 
@@ -299,6 +381,7 @@ func restartBench(codecName string, size int64, bs int, entropy float64, readAhe
 		fs.Unmount()
 		return err
 	}
+	buf := make([]byte, bs)
 	start := time.Now()
 	var total int64
 	for off := int64(0); off < size; {
@@ -323,8 +406,285 @@ func restartBench(codecName string, size int64, bs int, entropy float64, readAhe
 		return err
 	}
 	st := fs.Stats()
-	fmt.Printf("restart: codec=%s readahead=%d delay=%v read %d bytes in %.3fs (%.1f MB/s)\n",
-		cdc.Name(), readAhead, delay, total, el, float64(total)/el/(1<<20))
-	fmt.Println(st.Prefetch().Format())
+	emit.scenario(struct {
+		Scenario  string  `json:"scenario"`
+		Codec     string  `json:"codec"`
+		ReadAhead int     `json:"readahead"`
+		DelayUS   int64   `json:"delay_us"`
+		Bytes     int64   `json:"bytes"`
+		Seconds   float64 `json:"seconds"`
+		MBps      float64 `json:"mbps"`
+		Hits      int64   `json:"prefetch_hits"`
+		Misses    int64   `json:"prefetch_misses"`
+		Wasted    int64   `json:"prefetch_wasted"`
+	}{"restart", cdc.Name(), readAhead, delay.Microseconds(), total, el,
+		float64(total) / el / (1 << 20), st.PrefetchHits, st.PrefetchMisses, st.PrefetchWasted},
+		fmt.Sprintf("restart: codec=%s readahead=%d delay=%v read %d bytes in %.3fs (%.1f MB/s)",
+			cdc.Name(), readAhead, delay, total, el, float64(total)/el/(1<<20)),
+		st.Prefetch().Format())
 	return nil
+}
+
+// writeImage checkpoints one image through a fresh mount over back.
+func writeImage(back crfs.Filesystem, name string, cdc crfs.Codec, size int64, bs int, entropy float64, opts crfs.Options) error {
+	fs, err := crfs.Mount(back, opts)
+	if err != nil {
+		return err
+	}
+	const poolLen = crfs.DefaultChunkSize
+	pool := payloadPool(bs)
+	buf := make([]byte, bs)
+	nrand := int(float64(bs) * entropy)
+	w, err := fs.Open(name, crfs.WriteOnly|crfs.Create)
+	if err != nil {
+		fs.Unmount()
+		return err
+	}
+	for off := int64(0); off < size; off += int64(bs) {
+		copy(buf[:nrand], pool[off%poolLen:])
+		if _, err := w.WriteAt(buf, off); err != nil {
+			w.Close()
+			fs.Unmount()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		fs.Unmount()
+		return err
+	}
+	return fs.Unmount()
+}
+
+// compactBench is the space-amplification sweep plus scrub scaling.
+//
+// Phase 1 (compaction): a checkpoint image is written and then partially
+// overwritten -rewrites times through a framed mount — the in-place
+// incremental checkpoint pattern — so the log-structured container
+// accumulates dead frames. The dead-byte ratio before and after an
+// explicit compaction is reported; the run fails unless compaction
+// drives it to ~0 while reads stay byte-identical.
+//
+// Phase 2 (scrub): the compacted container's frames are re-verified
+// through mounts with 1 and 4 IO workers over a backend whose reads pay
+// -delay, reporting the parallel speedup of the pFSCK-style fan-out.
+func compactBench(emit *emitter, codecName string, size int64, bs int, entropy float64, rewrites int, delay time.Duration) error {
+	cdc, err := crfs.LookupCodec(codecName)
+	if err != nil {
+		return err
+	}
+	if cdc.Name() == "raw" {
+		return fmt.Errorf("crfsbench: -compact requires a framing codec (raw mounts write plain files); try -codec deflate")
+	}
+	if size <= 0 || bs <= 0 || rewrites < 1 {
+		return fmt.Errorf("crfsbench: -size, -bs, -rewrites must be positive")
+	}
+	chunk := int64(64 << 10)
+	if int64(bs) > chunk {
+		chunk = int64(bs)
+	}
+	const name = "compact.img"
+
+	// Phase 1 on an undelayed backend: compaction cost, not backend
+	// latency, is the subject.
+	back := memfs.New()
+	fs, err := crfs.Mount(back, crfs.Options{Codec: cdc, ChunkSize: chunk})
+	if err != nil {
+		return err
+	}
+	f, err := fs.Open(name, crfs.WriteOnly|crfs.Create)
+	if err != nil {
+		fs.Unmount()
+		return err
+	}
+	pool := payloadPool(int(chunk))
+	buf := make([]byte, chunk)
+	nrand := int(float64(chunk) * entropy)
+	write := func(off, salt int64) error {
+		copy(buf[:nrand], pool[(off+salt*7919)%crfs.DefaultChunkSize:])
+		_, err := f.WriteAt(buf, off)
+		return err
+	}
+	for off := int64(0); off < size; off += chunk {
+		if err := write(off, 0); err != nil {
+			fs.Unmount()
+			return err
+		}
+	}
+	for pass := 1; pass <= rewrites; pass++ {
+		// Overwrite every other chunk: half the image is rewritten in
+		// place each pass, the incremental-checkpoint shape.
+		for off := int64(0); off < size; off += 2 * chunk {
+			if err := write(off, int64(pass)); err != nil {
+				fs.Unmount()
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			fs.Unmount()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		fs.Unmount()
+		return err
+	}
+	info, err := back.Stat(name)
+	if err != nil {
+		fs.Unmount()
+		return err
+	}
+	backendBefore := info.Size
+	sum0, err := checksumImage(fs, name, size)
+	if err != nil {
+		fs.Unmount()
+		return err
+	}
+	t0 := time.Now()
+	if err := fs.Compact(name); err != nil {
+		fs.Unmount()
+		return err
+	}
+	compactSecs := time.Since(t0).Seconds()
+	info, err = back.Stat(name)
+	if err != nil {
+		fs.Unmount()
+		return err
+	}
+	backendAfter := info.Size
+	sum1, err := checksumImage(fs, name, size)
+	if err != nil {
+		fs.Unmount()
+		return err
+	}
+	if sum0 != sum1 {
+		fs.Unmount()
+		return fmt.Errorf("crfsbench: compaction changed the image content (checksum %x -> %x)", sum0, sum1)
+	}
+	// Second compaction measures the residual dead bytes: on a minimal
+	// container it reclaims nothing.
+	if err := fs.Compact(name); err != nil {
+		fs.Unmount()
+		return err
+	}
+	info, err = back.Stat(name)
+	if err != nil {
+		fs.Unmount()
+		return err
+	}
+	st := fs.Stats()
+	if err := fs.Unmount(); err != nil {
+		return err
+	}
+	deadBefore := float64(backendBefore-backendAfter) / float64(backendBefore)
+	deadAfter := float64(backendAfter-info.Size) / float64(backendAfter)
+	emit.scenario(struct {
+		Scenario        string  `json:"scenario"`
+		Codec           string  `json:"codec"`
+		Rewrites        int     `json:"rewrites"`
+		Logical         int64   `json:"logical_bytes"`
+		BackendBefore   int64   `json:"backend_before"`
+		BackendAfter    int64   `json:"backend_after"`
+		SpaceAmpBefore  float64 `json:"space_amp_before"`
+		SpaceAmpAfter   float64 `json:"space_amp_after"`
+		DeadRatioBefore float64 `json:"dead_ratio_before"`
+		DeadRatioAfter  float64 `json:"dead_ratio_after"`
+		FramesDropped   int64   `json:"frames_dropped"`
+		Reclaimed       int64   `json:"bytes_reclaimed"`
+		Seconds         float64 `json:"seconds"`
+	}{"compact", cdc.Name(), rewrites, size, backendBefore, backendAfter,
+		float64(backendBefore) / float64(size), float64(backendAfter) / float64(size),
+		deadBefore, deadAfter, st.CompactFramesDropped, st.CompactBytesReclaimed, compactSecs},
+		fmt.Sprintf("compact: codec=%s rewrites=%d logical=%d backend %d -> %d bytes in %.3fs",
+			cdc.Name(), rewrites, size, backendBefore, backendAfter, compactSecs),
+		fmt.Sprintf("space amplification %.2fx -> %.2fx, dead-byte ratio %.1f%% -> %.2f%%, %s",
+			float64(backendBefore)/float64(size), float64(backendAfter)/float64(size),
+			100*deadBefore, 100*deadAfter, st.Compaction().Format()))
+	if deadBefore < 0.1 {
+		return fmt.Errorf("crfsbench: rewrite workload accumulated only %.1f%% dead bytes; sweep is not exercising compaction", 100*deadBefore)
+	}
+	if deadAfter > 0.01 {
+		return fmt.Errorf("crfsbench: compaction left %.2f%% dead bytes, want ~0", 100*deadAfter)
+	}
+
+	// Phase 2: scrub scaling over a latency-injected backend. The image
+	// is re-checkpointed onto the delayed backend, then every frame is
+	// re-verified with 1 and 4 workers; the file is held open so the
+	// timed region is pure fan-out (the open-time index scan is serial
+	// either way and paid outside the clock).
+	sback := memfs.New(memfs.WithReadDelay(delay))
+	if err := writeImage(sback, name, cdc, size, int(chunk), entropy, crfs.Options{Codec: cdc, ChunkSize: chunk}); err != nil {
+		return err
+	}
+	var secs [2]float64
+	for i, workers := range []int{1, 4} {
+		sfs, err := crfs.Mount(sback, crfs.Options{Codec: cdc, ChunkSize: chunk, IOThreads: workers})
+		if err != nil {
+			return err
+		}
+		fh, err := sfs.Open(name, crfs.ReadOnly)
+		if err != nil {
+			sfs.Unmount()
+			return err
+		}
+		t0 := time.Now()
+		rep, err := sfs.Scrub(crfs.ScrubOptions{})
+		secs[i] = time.Since(t0).Seconds()
+		if err == nil && !rep.Clean() {
+			err = fmt.Errorf("crfsbench: scrub found defects in a healthy container: %s", rep.Format())
+		}
+		fh.Close()
+		if uerr := sfs.Unmount(); err == nil {
+			err = uerr
+		}
+		if err != nil {
+			return err
+		}
+		emit.scenario(struct {
+			Scenario string  `json:"scenario"`
+			Codec    string  `json:"codec"`
+			Workers  int     `json:"workers"`
+			DelayUS  int64   `json:"delay_us"`
+			Frames   int64   `json:"frames_verified"`
+			Bytes    int64   `json:"bytes_verified"`
+			Seconds  float64 `json:"seconds"`
+			MBps     float64 `json:"mbps"`
+		}{"scrub", cdc.Name(), workers, delay.Microseconds(), rep.Frames, rep.Bytes,
+			secs[i], float64(rep.Bytes) / secs[i] / (1 << 20)},
+			fmt.Sprintf("scrub: workers=%d delay=%v verified %d frames (%d bytes) in %.3fs",
+				workers, delay, rep.Frames, rep.Bytes, secs[i]))
+	}
+	speedup := secs[0] / secs[1]
+	if !emit.json {
+		fmt.Printf("scrub speedup at 4 workers over 1: %.2fx\n", speedup)
+	}
+	if delay > 0 && speedup < 2.0 {
+		return fmt.Errorf("crfsbench: scrub speedup %.2fx at 4 workers, want >= 2x on a latency-injected backend", speedup)
+	}
+	return nil
+}
+
+// checksumImage reads the whole logical image through the mount and
+// returns a position-sensitive checksum.
+func checksumImage(fs *crfs.FS, name string, size int64) (uint64, error) {
+	f, err := fs.Open(name, crfs.ReadOnly)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, 1<<20)
+	var sum uint64
+	for off := int64(0); off < size; {
+		n, err := f.ReadAt(buf, off)
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		if n == 0 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			sum = sum*1099511628211 + uint64(buf[i])
+		}
+		off += int64(n)
+	}
+	return sum, nil
 }

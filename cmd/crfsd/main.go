@@ -8,10 +8,23 @@
 //	PUT <name> <size>\n<size bytes>   -> "OK <bytes>\n"
 //	GET <name>\n                      -> "OK <size>\n<size bytes>"
 //	STAT\n                            -> one line of mount statistics
+//	SCRUB\n                           -> verify every container's frames
+//	                                     (fanned across the IO workers)
+//	                                     and report one summary line
+//
+// STAT reports the write/codec counters plus the recovery, compaction,
+// and scrub counters (containers salvaged/repaired at open, containers
+// compacted and bytes reclaimed, frames scrub-verified).
+//
+// With -compact-ratio the daemon compacts rewrite-heavy containers
+// online: after each PUT (and on the -compact-interval cadence) any
+// container whose dead-byte ratio crosses the threshold is rewritten to
+// its minimal equivalent via a crash-safe temp-write + rename replace.
 //
 // Usage:
 //
 //	crfsd -dir /scratch/ckpt -addr :9000
+//	crfsd -dir /scratch/ckpt -codec deflate -compact-ratio 0.3 -compact-interval 1m
 package main
 
 import (
@@ -35,6 +48,9 @@ func main() {
 	codecName := flag.String("codec", "raw", "chunk codec: "+strings.Join(crfs.CodecNames(), "|"))
 	readAhead := flag.Int("readahead", 8, "read-ahead depth for GET streams, in chunks/frames (0 disables)")
 	repair := flag.Bool("repair", false, "truncate torn frame containers to their intact prefix on first open (crash recovery)")
+	compactRatio := flag.Float64("compact-ratio", 0, "dead-byte ratio that triggers online container compaction after PUTs (0 disables)")
+	compactMin := flag.Int64("compact-min-bytes", 1<<20, "minimum reclaimable bytes before a container is compacted")
+	compactEvery := flag.Duration("compact-interval", 0, "background re-check cadence for open containers (0 disables the background pass)")
 	flag.Parse()
 
 	cdc, err := crfs.LookupCodec(*codecName)
@@ -44,6 +60,9 @@ func main() {
 	fs, err := crfs.MountDir(*dir, crfs.Options{
 		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads, Codec: cdc,
 		ReadAhead: *readAhead, RepairOnOpen: *repair,
+		Compaction: crfs.CompactionPolicy{
+			MinDeadRatio: *compactRatio, MinDeadBytes: *compactMin, Interval: *compactEvery,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -52,8 +71,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s readahead=%d repair=%v)",
-		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name(), *readAhead, *repair)
+	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s readahead=%d repair=%v compact-ratio=%v)",
+		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name(), *readAhead, *repair, *compactRatio)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -103,10 +122,24 @@ func serve(fs *crfs.FS, conn net.Conn) {
 		}
 	case "STAT":
 		st := fs.Stats()
-		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f salvaged=%d repaired=%d failed_chunks=%d\n",
+		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f "+
+			"scanned=%d salvaged=%d repaired=%d salvage_frames_dropped=%d salvage_bytes_truncated=%d failed_chunks=%d "+
+			"compacted=%d compact_frames_dropped=%d compact_bytes_reclaimed=%d "+
+			"frames_verified=%d scrub_corruptions=%d scrub_repaired=%d\n",
 			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits,
 			st.CodecBytesIn, st.CodecBytesOut, st.CompressionRatio(),
-			st.ContainersSalvaged, st.ContainersRepaired, st.FailedChunks)
+			st.ContainersScanned, st.ContainersSalvaged, st.ContainersRepaired,
+			st.SalvageFramesDropped, st.SalvageBytesTruncated, st.FailedChunks,
+			st.ContainersCompacted, st.CompactFramesDropped, st.CompactBytesReclaimed,
+			st.FramesVerified, st.ScrubCorruptions, st.ScrubRepaired)
+	case "SCRUB":
+		rep, err := fs.Scrub(crfs.ScrubOptions{})
+		if err != nil {
+			fmt.Fprintf(conn, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(conn, "OK containers=%d frames=%d bytes=%d corrupt_frames=%d torn=%d clean=%v\n",
+			rep.Containers, rep.Frames, rep.Bytes, rep.CorruptFrames, rep.TornContainers, rep.Clean())
 	default:
 		fmt.Fprintf(conn, "ERR unknown verb %q\n", fields[0])
 	}

@@ -44,6 +44,16 @@
 // (internal/crashfs, `crfsbench -crash`) that replays a power cut at
 // every byte boundary of a workload's backend writes.
 //
+// Containers are log-structured and last-writer-wins, so rewrite-heavy
+// checkpoint workloads accumulate dead frames without bound. Online
+// compaction (Options.Compaction, FS.Compact) rewrites a container to
+// its minimal equivalent — byte-identical reads, dead bytes reclaimed —
+// via a crash-safe temp-write + rename replace, checked against the
+// policy after every Sync and Close. FS.Scrub re-verifies every frame of
+// every container on the mount, fanning the per-frame decode checks
+// across the IO workers at the lowest priority; the crfsck command runs
+// both engines offline over a backing directory.
+//
 // Quick start:
 //
 //	backend, _ := crfs.DirBackend("/mnt/scratch")
@@ -62,6 +72,7 @@ package crfs
 
 import (
 	"crfs/internal/codec"
+	"crfs/internal/compact"
 	"crfs/internal/core"
 	"crfs/internal/memfs"
 	"crfs/internal/osfs"
@@ -89,6 +100,15 @@ type (
 	DirEntry = vfs.DirEntry
 	// OpenFlag selects open modes.
 	OpenFlag = vfs.OpenFlag
+	// CompactionPolicy configures online container compaction
+	// (Options.Compaction): dead-byte thresholds checked after Sync and
+	// Close, plus an optional background re-check interval.
+	CompactionPolicy = core.CompactionPolicy
+	// ScrubOptions configures FS.Scrub, the parallel container verifier.
+	ScrubOptions = core.ScrubOptions
+	// ScrubReport is a scrub pass's findings (per-frame verification
+	// totals and the containers with defects).
+	ScrubReport = compact.Report
 )
 
 // Open flags, re-exported for call-site convenience.

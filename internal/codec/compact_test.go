@@ -1,0 +1,209 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// buildScanned encodes extents (off, data) in order as one container,
+// returning the bytes and the scanned index.
+func buildScanned(t *testing.T, c Codec, extents ...struct {
+	off  int64
+	data []byte
+}) ([]byte, []FrameInfo) {
+	t.Helper()
+	box := buildContainer(t, c, extents...)
+	frames, intact, err := ScanPrefix(bytes.NewReader(box), int64(len(box)))
+	if err != nil || intact != int64(len(box)) {
+		t.Fatalf("scan: intact=%d err=%v", intact, err)
+	}
+	return box, frames
+}
+
+// replayContent materializes the logical image a container serves.
+func replayContent(t *testing.T, box []byte, frames []FrameInfo) []byte {
+	t.Helper()
+	return replayFrames(t, bytes.NewReader(box), frames)
+}
+
+func TestAnalyzeLiveness(t *testing.T) {
+	for _, c := range []Codec{Raw(), Deflate()} {
+		t.Run(c.Name(), func(t *testing.T) {
+			// Three extents; the middle one fully overwritten, the first
+			// partially overwritten (still live), plus a full rewrite of
+			// the middle again.
+			box, frames := buildScanned(t, c,
+				ext(0, goldenPayload(100, 1)),   // live: bytes [0,50) survive
+				ext(100, goldenPayload(100, 2)), // dead: fully shadowed by seq 3
+				ext(200, goldenPayload(100, 3)), // live
+				ext(100, goldenPayload(100, 4)), // live (latest writer of [100,200))
+				ext(50, goldenPayload(50, 5)),   // live (shadows tail of frame 0)
+			)
+			lv := Analyze(frames)
+			if len(lv.Live) != 4 || len(lv.Dead) != 1 {
+				t.Fatalf("live=%d dead=%d, want 4/1", len(lv.Live), len(lv.Dead))
+			}
+			if lv.Dead[0].Header.Seq != 1 {
+				t.Fatalf("dead frame seq %d, want 1", lv.Dead[0].Header.Seq)
+			}
+			if lv.Logical != 300 {
+				t.Fatalf("logical %d, want 300", lv.Logical)
+			}
+			if lv.LiveBytes+lv.DeadBytes != int64(len(box)) {
+				t.Fatalf("footprints %d+%d != container %d", lv.LiveBytes, lv.DeadBytes, len(box))
+			}
+			if lv.DeadRatio() <= 0 {
+				t.Fatalf("dead ratio %v, want > 0", lv.DeadRatio())
+			}
+		})
+	}
+}
+
+func TestAnalyzeMarkerRules(t *testing.T) {
+	// A container whose logical size comes from an extension marker past
+	// the data: the highest-seq marker at the logical end survives,
+	// superseded markers die.
+	var box []byte
+	var err error
+	box, _, err = EncodeFrame(Raw(), 0, 0, goldenPayload(64, 1), box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, off := range []int64{500, 1000} { // two extension markers
+		hdr := make([]byte, HeaderSize)
+		PutHeader(hdr, Header{Codec: RawID, Seq: uint64(1 + i), Off: off})
+		box = append(box, hdr...)
+	}
+	frames, intact, serr := ScanPrefix(bytes.NewReader(box), int64(len(box)))
+	if serr != nil || intact != int64(len(box)) {
+		t.Fatalf("scan: %v", serr)
+	}
+	lv := Analyze(frames)
+	if lv.Logical != 1000 {
+		t.Fatalf("logical %d, want 1000", lv.Logical)
+	}
+	if lv.NeedMarker {
+		t.Fatal("NeedMarker set though a marker at the logical end exists")
+	}
+	if len(lv.Live) != 2 || lv.Live[1].Header.Off != 1000 || lv.Live[1].Header.Seq != 2 {
+		t.Fatalf("live set %+v, want data frame + marker at 1000", lv.Live)
+	}
+	if len(lv.Dead) != 1 || lv.Dead[0].Header.Off != 500 {
+		t.Fatalf("dead set %+v, want the superseded marker at 500", lv.Dead)
+	}
+
+	// A pad frame (RawLen 0, EncLen > 0) defining the logical maximum:
+	// pads never survive, so a marker must be synthesized.
+	pad := make([]byte, HeaderSize)
+	PutHeader(pad, Header{Codec: RawID, Seq: 9, Off: 4096, RawLen: 0, EncLen: 8})
+	box2 := append([]byte(nil), box[:HeaderSize+64]...) // the data frame only
+	box2 = append(box2, pad...)
+	box2 = append(box2, make([]byte, 8)...) // the pad's reserved range
+	frames2, intact2, serr2 := ScanPrefix(bytes.NewReader(box2), int64(len(box2)))
+	if serr2 != nil || intact2 != int64(len(box2)) {
+		t.Fatalf("scan2: %v", serr2)
+	}
+	lv2 := Analyze(frames2)
+	if !lv2.NeedMarker || lv2.Logical != 4096 {
+		t.Fatalf("NeedMarker=%v logical=%d, want true/4096", lv2.NeedMarker, lv2.Logical)
+	}
+	box3, idx3, st3, err := CompactContainer(bytes.NewReader(box2), frames2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.FramesOut != 2 || idx3[1].Header.Off != 4096 || idx3[1].Header.RawLen != 0 || idx3[1].Header.EncLen != 0 {
+		t.Fatalf("compacted index %+v, want data frame + synthesized marker at 4096", idx3)
+	}
+	frames3, intact3, serr3 := ScanPrefix(bytes.NewReader(box3), int64(len(box3)))
+	if serr3 != nil || intact3 != int64(len(box3)) {
+		t.Fatalf("compacted container does not scan: %v", serr3)
+	}
+	if lv3 := Analyze(frames3); lv3.Logical != 4096 {
+		t.Fatalf("compacted logical %d, want 4096", lv3.Logical)
+	}
+}
+
+// TestCompactByteIdentity proves the equivalence contract across both
+// codecs: the compacted container replays byte-identical content, drops
+// every dead byte, and compaction is idempotent.
+func TestCompactByteIdentity(t *testing.T) {
+	for _, c := range []Codec{Raw(), Deflate()} {
+		t.Run(c.Name(), func(t *testing.T) {
+			box, frames := buildScanned(t, c,
+				ext(0, goldenPayload(300, 1)),
+				ext(300, goldenPayload(300, 2)),
+				ext(600, goldenPayload(200, 3)),
+				ext(300, goldenPayload(300, 4)), // overwrite
+				ext(0, goldenPayload(150, 5)),   // partial overwrite
+				ext(100, goldenPayload(100, 6)), // overlaps previous overwrite
+			)
+			want := replayContent(t, box, frames)
+
+			compacted, idx, st, err := CompactContainer(bytes.NewReader(box), frames, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.FramesDropped == 0 {
+				t.Fatal("workload has a fully shadowed frame; none dropped")
+			}
+			if int64(len(compacted)) != st.BytesOut || st.BytesOut >= int64(len(box)) {
+				t.Fatalf("compacted %d bytes of %d (stats %+v)", len(compacted), len(box), st)
+			}
+			// The returned index matches a fresh scan of the output.
+			frames2, intact, serr := ScanPrefix(bytes.NewReader(compacted), int64(len(compacted)))
+			if serr != nil || intact != int64(len(compacted)) {
+				t.Fatalf("compacted container does not scan clean: %v", serr)
+			}
+			if len(frames2) != len(idx) {
+				t.Fatalf("returned index %d frames, rescan %d", len(idx), len(frames2))
+			}
+			for i := range idx {
+				if idx[i] != frames2[i] {
+					t.Fatalf("index[%d] = %+v, rescan %+v", i, idx[i], frames2[i])
+				}
+			}
+			if got := replayContent(t, compacted, frames2); !bytes.Equal(got, want) {
+				t.Fatal("compacted content diverges from the original")
+			}
+			// Dead bytes driven to zero.
+			if lv := Analyze(frames2); lv.DeadBytes != 0 {
+				t.Fatalf("compacted container still has %d dead bytes", lv.DeadBytes)
+			}
+			// Idempotence: Compact(Compact(x)) == Compact(x).
+			again, _, st2, err := CompactContainer(bytes.NewReader(compacted), frames2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st2.FramesDropped != 0 || !bytes.Equal(again, compacted) {
+				t.Fatalf("compaction not idempotent: dropped=%d identical=%v", st2.FramesDropped, bytes.Equal(again, compacted))
+			}
+		})
+	}
+}
+
+// TestCompactRefusesCorruptPayload: a payload that fails decode
+// verification aborts the rewrite instead of emitting a broken container.
+func TestCompactRefusesCorruptPayload(t *testing.T) {
+	box, frames := buildScanned(t, Deflate(), ext(0, goldenPayload(256, 1)))
+	box[HeaderSize+4] ^= 0xff // flip a payload byte behind the header
+	if _, _, _, err := CompactContainer(bytes.NewReader(box), frames, nil); err == nil {
+		t.Fatal("compaction accepted a corrupt payload")
+	}
+}
+
+func TestIvSet(t *testing.T) {
+	var s ivSet
+	s.add(10, 20)
+	s.add(30, 40)
+	if s.covered(10, 21) || !s.covered(10, 20) || !s.covered(12, 18) || s.covered(25, 26) {
+		t.Fatalf("coverage wrong: %+v", s.iv)
+	}
+	s.add(20, 30) // bridges the gap
+	if len(s.iv) != 1 || !s.covered(10, 40) {
+		t.Fatalf("merge wrong: %+v", s.iv)
+	}
+	s.add(0, 5)
+	if s.covered(0, 6) || !s.covered(0, 5) {
+		t.Fatalf("prefix add wrong: %+v", s.iv)
+	}
+}

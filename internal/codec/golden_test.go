@@ -97,6 +97,18 @@ func goldenFixtures(t *testing.T) map[string][]byte {
 			}
 		}
 		fix[c.Name()+".crfc"] = box
+		// Compacted variant: the minimal equivalent container (dead
+		// overwritten frame dropped, sequences renumbered) — the ratchet
+		// for the compaction subsystem's output format.
+		frames, intact, serr := ScanPrefix(bytes.NewReader(box), int64(len(box)))
+		if serr != nil || intact != int64(len(box)) {
+			t.Fatalf("golden %s container does not scan: %v", c.Name(), serr)
+		}
+		compacted, _, _, err := CompactContainer(bytes.NewReader(box), frames, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fix[c.Name()+"-compacted.crfc"] = compacted
 		if c.ID() == DeflateID {
 			// Torn variant: the intact frames plus a half-written fifth
 			// frame — the exact shape a power cut mid-append leaves.
@@ -148,6 +160,47 @@ func TestGoldenContainers(t *testing.T) {
 			}
 			if got := replayFrames(t, r, sframes); !bytes.Equal(got, want) {
 				t.Fatal("salvage replay differs from golden content")
+			}
+		})
+	}
+	for _, name := range []string{"raw-compacted.crfc", "deflate-compacted.crfc"} {
+		t.Run(name, func(t *testing.T) {
+			src := name[:len(name)-len("-compacted.crfc")] + ".crfc"
+			box, err := os.ReadFile(filepath.Join(goldenDir, src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(filepath.Join(goldenDir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := bytes.NewReader(box)
+			frames, intact, serr := ScanPrefix(r, int64(len(box)))
+			if serr != nil || intact != int64(len(box)) {
+				t.Fatalf("scan %s: %v", src, serr)
+			}
+			got, idx, st, err := CompactContainer(r, frames, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("compacting %s no longer reproduces the golden compacted fixture", src)
+			}
+			if st.FramesDropped != 1 {
+				t.Fatalf("dropped %d frames, the golden history has exactly 1 dead frame", st.FramesDropped)
+			}
+			// The compacted fixture itself replays the golden content and
+			// re-compacts to itself (idempotence ratchet).
+			content, err := os.ReadFile(filepath.Join(goldenDir, "content.want"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if replay := replayFrames(t, bytes.NewReader(got), idx); !bytes.Equal(replay, content) {
+				t.Fatal("golden compacted fixture replays different content")
+			}
+			again, _, _, err := CompactContainer(bytes.NewReader(got), idx, nil)
+			if err != nil || !bytes.Equal(again, got) {
+				t.Fatalf("golden compacted fixture is not a compaction fixed point (err=%v)", err)
 			}
 		})
 	}

@@ -1,0 +1,333 @@
+package compact
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"crfs/internal/codec"
+	"crfs/internal/memfs"
+	"crfs/internal/vfs"
+)
+
+// payload builds a deterministic, mildly compressible payload.
+func payload(n, seed int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte((seed*31 + i/7 + i*i%13) % 251)
+	}
+	return p
+}
+
+// buildContainer encodes extents (off, data) as one container.
+func buildContainer(t *testing.T, c codec.Codec, extents ...[2]int) []byte {
+	t.Helper()
+	var box []byte
+	for i, e := range extents {
+		var err error
+		box, _, err = codec.EncodeFrame(c, uint64(i), int64(e[0]), payload(e[1], i+1), box)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return box
+}
+
+// replay materializes the logical content a container serves.
+func replay(t *testing.T, box []byte) []byte {
+	t.Helper()
+	frames, _, _ := codec.ScanPrefix(bytes.NewReader(box), int64(len(box)))
+	var logical int64
+	for _, fr := range frames {
+		if end := fr.Header.Off + int64(fr.Header.RawLen); end > logical {
+			logical = end
+		}
+	}
+	img := make([]byte, logical)
+	for _, fr := range frames { // scan order == seq order for our fixtures
+		if fr.Header.RawLen == 0 {
+			continue
+		}
+		enc := box[fr.Pos+codec.HeaderSize : fr.Pos+codec.HeaderSize+int64(fr.Header.EncLen)]
+		raw, err := codec.DecodeFrame(fr.Header, enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(img[fr.Header.Off:], raw)
+	}
+	return img
+}
+
+// tree builds a memfs with a mix of containers, plain files, and strays.
+func tree(t *testing.T) (*memfs.FS, map[string][]byte) {
+	t.Helper()
+	m := memfs.New()
+	if err := m.MkdirAll("ckpt/sub"); err != nil {
+		t.Fatal(err)
+	}
+	boxes := map[string][]byte{
+		"ckpt/a.crfc":     buildContainer(t, codec.Deflate(), [2]int{0, 400}, [2]int{400, 400}, [2]int{0, 400}),
+		"ckpt/sub/b.crfc": buildContainer(t, codec.Raw(), [2]int{0, 256}, [2]int{256, 128}),
+	}
+	for name, box := range boxes {
+		if err := vfs.WriteFile(m, name, box); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-containers the walk must skip.
+	if err := vfs.WriteFile(m, "ckpt/plain.txt", []byte("not a container, definitely long enough")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.WriteFile(m, "ckpt/stray"+TempSuffix, boxes["ckpt/a.crfc"]); err != nil {
+		t.Fatal(err)
+	}
+	return m, boxes
+}
+
+func TestWalkFindsContainersOnly(t *testing.T) {
+	m, boxes := tree(t)
+	seen := map[string]int64{}
+	if err := Walk(m, ".", func(path string, size int64) error {
+		seen[path] = size
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(boxes) {
+		t.Fatalf("walk saw %v, want exactly the containers %d", seen, len(boxes))
+	}
+	for name, box := range boxes {
+		if seen[name] != int64(len(box)) {
+			t.Fatalf("walk size of %s = %d, want %d", name, seen[name], len(box))
+		}
+	}
+}
+
+func TestSweepTemps(t *testing.T) {
+	m, _ := tree(t)
+	n, err := SweepTemps(m, ".")
+	if err != nil || n != 1 {
+		t.Fatalf("swept %d (err %v), want 1", n, err)
+	}
+	if _, err := m.Stat("ckpt/stray" + TempSuffix); err == nil {
+		t.Fatal("stray temp survived the sweep")
+	}
+}
+
+func TestScrubCleanTree(t *testing.T) {
+	m, boxes := tree(t)
+	rep, err := Scrub(m, ".", ScrubOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Containers != len(boxes) || rep.Frames != 5 {
+		t.Fatalf("clean tree scrub: %+v", rep)
+	}
+}
+
+func TestScrubDetectsCorruptionAndTears(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		m, boxes := tree(t)
+		// Flip a payload byte of a.crfc's second frame.
+		box := append([]byte(nil), boxes["ckpt/a.crfc"]...)
+		frames, _, _ := codec.ScanPrefix(bytes.NewReader(box), int64(len(box)))
+		box[frames[1].Pos+codec.HeaderSize+3] ^= 0xff
+		if err := vfs.WriteFile(m, "ckpt/a.crfc", box); err != nil {
+			t.Fatal(err)
+		}
+		// Tear b.crfc mid-frame.
+		torn := boxes["ckpt/sub/b.crfc"]
+		torn = torn[:len(torn)-5]
+		if err := vfs.WriteFile(m, "ckpt/sub/b.crfc", torn); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Scrub(m, ".", ScrubOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Clean() || rep.CorruptFrames != 1 || rep.TornContainers != 1 || rep.TornBytes != codec.HeaderSize+128-5 {
+			t.Fatalf("workers=%d: %+v", workers, rep)
+		}
+		if len(rep.Problems) != 2 {
+			t.Fatalf("workers=%d: problems %+v", workers, rep.Problems)
+		}
+	}
+}
+
+func TestScrubRepair(t *testing.T) {
+	m, boxes := tree(t)
+	box := append([]byte(nil), boxes["ckpt/a.crfc"]...)
+	frames, _, _ := codec.ScanPrefix(bytes.NewReader(box), int64(len(box)))
+	box[frames[1].Pos+codec.HeaderSize+3] ^= 0xff // corrupt frame 1 of 3
+	if err := vfs.WriteFile(m, "ckpt/a.crfc", box); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scrub(m, ".", ScrubOptions{Workers: 4, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 1 {
+		t.Fatalf("repaired %d, want 1: %+v", rep.Repaired, rep)
+	}
+	// The repaired container is the verified prefix: frame 0 only.
+	info, err := m.Stat("ckpt/a.crfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != frames[1].Pos {
+		t.Fatalf("repaired size %d, want prefix %d", info.Size, frames[1].Pos)
+	}
+	// A second scrub is clean.
+	rep2, err := Scrub(m, ".", ScrubOptions{Workers: 4})
+	if err != nil || !rep2.Clean() {
+		t.Fatalf("post-repair scrub not clean: %+v (err %v)", rep2, err)
+	}
+}
+
+func TestCompactDir(t *testing.T) {
+	m, boxes := tree(t)
+	wantA := replay(t, boxes["ckpt/a.crfc"])
+	wantB := replay(t, boxes["ckpt/sub/b.crfc"])
+	rep, err := CompactDir(m, ".", CompactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a.crfc has a fully shadowed frame; b.crfc is already minimal.
+	if rep.Containers != 2 || rep.Compacted != 1 || rep.FramesDropped != 1 || rep.Reclaimed <= 0 {
+		t.Fatalf("%+v", rep)
+	}
+	if rep.TempsSwept != 1 {
+		t.Fatalf("swept %d temps, want the stray", rep.TempsSwept)
+	}
+	gotA, err := vfs.ReadFile(m, "ckpt/a.crfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(gotA)) >= int64(len(boxes["ckpt/a.crfc"])) {
+		t.Fatalf("a.crfc not shrunk: %d of %d", len(gotA), len(boxes["ckpt/a.crfc"]))
+	}
+	if !bytes.Equal(replay(t, gotA), wantA) {
+		t.Fatal("a.crfc content changed by compaction")
+	}
+	gotB, err := vfs.ReadFile(m, "ckpt/sub/b.crfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotB, boxes["ckpt/sub/b.crfc"]) || !bytes.Equal(replay(t, gotB), wantB) {
+		t.Fatal("minimal b.crfc was rewritten or changed")
+	}
+	// Idempotence at the directory level.
+	rep2, err := CompactDir(m, ".", CompactOptions{})
+	if err != nil || rep2.Compacted != 0 {
+		t.Fatalf("second pass compacted %d (err %v), want 0", rep2.Compacted, err)
+	}
+	// Threshold: a huge MinDeadRatio compacts nothing.
+	m2, _ := tree(t)
+	rep3, err := CompactDir(m2, ".", CompactOptions{MinDeadRatio: 0.99})
+	if err != nil || rep3.Compacted != 0 {
+		t.Fatalf("threshold ignored: %+v (err %v)", rep3, err)
+	}
+}
+
+func TestCompactRepairsTornContainer(t *testing.T) {
+	m, boxes := tree(t)
+	torn := append([]byte(nil), boxes["ckpt/a.crfc"]...)
+	want := replay(t, torn[:func() int64 {
+		frames, _, _ := codec.ScanPrefix(bytes.NewReader(torn), int64(len(torn)))
+		return frames[len(frames)-1].End()
+	}()])
+	torn = append(torn, []byte("garbage tail from a power cut")...)
+	if err := vfs.WriteFile(m, "ckpt/a.crfc", torn); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CompactDir(m, ".", CompactOptions{})
+	if err != nil || rep.Compacted < 1 {
+		t.Fatalf("%+v (err %v)", rep, err)
+	}
+	got, err := vfs.ReadFile(m, "ckpt/a.crfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, intact, serr := codec.ScanPrefix(bytes.NewReader(got), int64(len(got)))
+	if serr != nil || intact != int64(len(got)) || len(frames) != 2 {
+		t.Fatalf("compacted torn container: frames=%d intact=%d err=%v", len(frames), intact, serr)
+	}
+	if !bytes.Equal(replay(t, got), want) {
+		t.Fatal("torn-container compaction changed the salvageable content")
+	}
+}
+
+func TestCompactLeavesCorruptContainerAlone(t *testing.T) {
+	m, boxes := tree(t)
+	box := append([]byte(nil), boxes["ckpt/a.crfc"]...)
+	frames, _, _ := codec.ScanPrefix(bytes.NewReader(box), int64(len(box)))
+	// Corrupt a *live* frame's payload (the last one).
+	box[frames[2].Pos+codec.HeaderSize+3] ^= 0xff
+	if err := vfs.WriteFile(m, "ckpt/a.crfc", box); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CompactDir(m, ".", CompactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Problems) != 1 || rep.Problems[0].Path != "ckpt/a.crfc" {
+		t.Fatalf("corrupt container not reported: %+v", rep)
+	}
+	got, err := vfs.ReadFile(m, "ckpt/a.crfc")
+	if err != nil || !bytes.Equal(got, box) {
+		t.Fatal("corrupt container was rewritten")
+	}
+}
+
+// failAfterFS wraps a vfs.FS so reads past a byte offset fail with a
+// non-corruption backend error, modeling a transiently sick device.
+type failAfterFS struct {
+	vfs.FS
+	after int64
+}
+
+type failAfterFile struct {
+	vfs.File
+	after int64
+}
+
+func (f failAfterFS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
+	inner, err := f.FS.Open(name, flag)
+	if err != nil {
+		return nil, err
+	}
+	return failAfterFile{inner, f.after}, nil
+}
+
+func (f failAfterFile) ReadAt(p []byte, off int64) (int, error) {
+	if off+int64(len(p)) > f.after {
+		return 0, errors.New("backend: transient IO failure")
+	}
+	return f.File.ReadAt(p, off)
+}
+
+// TestScrubRepairNeverTruncatesOnBackendError: a frame that cannot be
+// read is unverifiable, not corrupt — repair must leave the container
+// alone (truncating would turn a flaky read into permanent data loss).
+func TestScrubRepairNeverTruncatesOnBackendError(t *testing.T) {
+	m, boxes := tree(t)
+	box := boxes["ckpt/a.crfc"]
+	frames, _, _ := codec.ScanPrefix(bytes.NewReader(box), int64(len(box)))
+	sick := failAfterFS{FS: m, after: frames[1].Pos + codec.HeaderSize} // frame 1+ payloads unreadable
+	rep, err := Scrub(sick, ".", ScrubOptions{Workers: 4, Repair: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Repaired != 0 {
+		t.Fatalf("repair truncated on a backend error: %+v", rep)
+	}
+	if rep.CorruptFrames != 0 {
+		t.Fatalf("backend failures misclassified as corruption: %+v", rep)
+	}
+	if len(rep.Problems) == 0 || rep.Problems[0].Err == "" {
+		t.Fatalf("unverifiable container not reported: %+v", rep)
+	}
+	if got, _ := vfs.ReadFile(m, "ckpt/a.crfc"); !bytes.Equal(got, box) {
+		t.Fatal("container bytes changed")
+	}
+}

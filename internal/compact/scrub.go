@@ -1,0 +1,297 @@
+package compact
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"crfs/internal/codec"
+	"crfs/internal/vfs"
+)
+
+// The scrub engine. Open-time salvage (PR 4) verifies a container once,
+// when it is opened; nothing in the tree re-verifies integrity after
+// that, so bit rot in a cold checkpoint store goes unnoticed until the
+// restart that needs the bytes. Scrub walks every container, scans its
+// frame chain, and re-verifies every payload — reading and decoding each
+// frame is an independent unit of work, so verification fans out across
+// workers the way pFSCK parallelizes fsck across independent block
+// groups.
+
+// ScrubOptions configures a scrub pass.
+type ScrubOptions struct {
+	// Workers is the number of parallel frame verifiers (minimum 1).
+	Workers int
+	// Repair truncates a damaged container to its longest verified frame
+	// prefix — the same prefix rule open-time salvage applies, applied
+	// in place: a torn tail or a corrupt frame and everything after it
+	// are cut off.
+	Repair bool
+}
+
+// FileReport describes one scrubbed container.
+type FileReport struct {
+	Path string
+	// Frames and Bytes count the frames and payload bytes that verified.
+	Frames int
+	Bytes  int64
+	// CorruptFrames counts frames whose payload failed verification
+	// behind a parseable header (bit rot, torn reserved ranges).
+	CorruptFrames int
+	// TornBytes is the container tail past the longest parseable frame
+	// chain (a crash mid-append never repaired).
+	TornBytes int64
+	// Repaired reports the container was truncated to its verified
+	// prefix.
+	Repaired bool
+	// Err is a backend failure that prevented scrubbing the file.
+	Err string
+}
+
+// Damaged reports whether the container has any defect.
+func (f FileReport) Damaged() bool {
+	return f.CorruptFrames > 0 || f.TornBytes > 0 || f.Err != ""
+}
+
+// Report aggregates one scrub pass.
+type Report struct {
+	Containers     int
+	Frames         int64 // frames verified intact
+	Bytes          int64 // payload bytes verified
+	CorruptFrames  int64
+	TornContainers int
+	TornBytes      int64
+	Repaired       int
+	// Problems lists the containers with defects (capped at 100).
+	Problems []FileReport
+}
+
+// Clean reports whether every container verified without defect.
+func (r *Report) Clean() bool {
+	return r.CorruptFrames == 0 && r.TornContainers == 0 && len(r.Problems) == 0
+}
+
+// Add folds one file's report into the totals.
+func (r *Report) Add(f FileReport) {
+	r.Containers++
+	r.Frames += int64(f.Frames)
+	r.Bytes += f.Bytes
+	r.CorruptFrames += int64(f.CorruptFrames)
+	if f.TornBytes > 0 {
+		r.TornContainers++
+		r.TornBytes += f.TornBytes
+	}
+	if f.Repaired {
+		r.Repaired++
+	}
+	if f.Damaged() && len(r.Problems) < 100 {
+		r.Problems = append(r.Problems, f)
+	}
+}
+
+// Format renders the report as a short multi-line summary.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scrub: containers=%d frames-verified=%d bytes=%d corrupt-frames=%d torn=%d (%d bytes) repaired=%d\n",
+		r.Containers, r.Frames, r.Bytes, r.CorruptFrames, r.TornContainers, r.TornBytes, r.Repaired)
+	for _, f := range r.Problems {
+		fmt.Fprintf(&b, "  %s: frames=%d corrupt=%d torn-bytes=%d repaired=%v%s\n",
+			f.Path, f.Frames, f.CorruptFrames, f.TornBytes, f.Repaired,
+			map[bool]string{true: " err=" + f.Err, false: ""}[f.Err != ""])
+	}
+	return b.String()
+}
+
+// VerifyFrame reads one frame's payload through r and proves it decodes
+// to exactly the length its header declares. The returned error wraps
+// codec.ErrCorrupt for payload damage and is the backend's own error
+// when the bytes could not be read at all.
+func VerifyFrame(r io.ReaderAt, fr codec.FrameInfo) error {
+	if fr.Header.RawLen == 0 {
+		return nil // pads and markers carry no decodable payload
+	}
+	payload := make([]byte, fr.Header.EncLen)
+	n, err := r.ReadAt(payload, fr.Pos+codec.HeaderSize)
+	if n != len(payload) {
+		if err == nil || errors.Is(err, io.EOF) {
+			err = codec.ErrCorrupt
+		}
+		return fmt.Errorf("frame payload at %d: %w", fr.Pos, err)
+	}
+	if _, err := codec.DecodeFrame(fr.Header, payload, nil); err != nil {
+		if !errors.Is(err, codec.ErrCorrupt) {
+			err = fmt.Errorf("%w: %v", codec.ErrCorrupt, err)
+		}
+		return fmt.Errorf("frame at %d: %w", fr.Pos, err)
+	}
+	return nil
+}
+
+// Submit schedules one independent verification unit, possibly
+// concurrently with others; implementations must eventually run every
+// submitted unit. nil means run inline (serial verification).
+type Submit func(func())
+
+// pool is the offline engines' worker pool: a fixed set of goroutines
+// draining a job channel. Online scrub substitutes the mount's IO
+// workers instead.
+type pool struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+}
+
+func newPool(workers int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &pool{jobs: make(chan func())}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				j()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *pool) submit(j func()) { p.jobs <- j }
+
+func (p *pool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// VerifyResult is one VerifyFrames pass's outcome. Corruption (payload
+// proven not to match its header) and backend failure (the bytes could
+// not be read at all) are kept apart: only proven corruption may ever
+// feed the repair rule — truncating on a transient read error would
+// turn a flaky backend into permanent data loss.
+type VerifyResult struct {
+	Verified     int   // frames whose payload verified intact
+	Bytes        int64 // payload bytes covered by the verified frames
+	Corrupt      int   // frames proven corrupt (undecodable payload)
+	FirstCorrupt int64 // container offset of the first corrupt frame, -1 when none
+	Failed       int   // frames unverifiable because the backend failed to read
+	Err          string
+}
+
+// VerifyFrames fans frame verification out through submit. Verification
+// is read-only and order-independent; the first-corruption position is
+// what the prefix repair rule needs.
+func VerifyFrames(r io.ReaderAt, frames []codec.FrameInfo, submit Submit) VerifyResult {
+	if submit == nil {
+		submit = func(j func()) { j() }
+	}
+	var ok, badPos, okBytes, failed atomic.Int64
+	badPos.Store(-1)
+	var errMu sync.Mutex
+	var firstErr string
+	var wg sync.WaitGroup
+	for i := range frames {
+		fr := frames[i]
+		wg.Add(1)
+		submit(func() {
+			defer wg.Done()
+			switch err := VerifyFrame(r, fr); {
+			case err == nil:
+				ok.Add(1)
+				okBytes.Add(int64(fr.Header.RawLen))
+			case errors.Is(err, codec.ErrCorrupt):
+				for {
+					cur := badPos.Load()
+					if cur >= 0 && cur <= fr.Pos {
+						break
+					}
+					if badPos.CompareAndSwap(cur, fr.Pos) {
+						break
+					}
+				}
+			default:
+				// Backend failure: the frame is unverifiable, not corrupt.
+				failed.Add(1)
+				errMu.Lock()
+				if firstErr == "" {
+					firstErr = err.Error()
+				}
+				errMu.Unlock()
+			}
+		})
+	}
+	wg.Wait()
+	res := VerifyResult{
+		Verified:     int(ok.Load()),
+		Bytes:        okBytes.Load(),
+		FirstCorrupt: badPos.Load(),
+		Failed:       int(failed.Load()),
+		Err:          firstErr,
+	}
+	res.Corrupt = len(frames) - res.Verified - res.Failed
+	return res
+}
+
+// Scrub walks every container under root and verifies every frame,
+// fanning the per-frame work across o.Workers goroutines. With o.Repair,
+// damaged containers are truncated to their longest verified frame
+// prefix. The returned error reports walk-level failures only; per-file
+// defects and failures are data, collected in the report.
+func Scrub(fsys vfs.FS, root string, o ScrubOptions) (*Report, error) {
+	p := newPool(o.Workers)
+	defer p.close()
+	rep := &Report{}
+	err := Walk(fsys, root, func(path string, size int64) error {
+		rep.Add(ScrubFile(fsys, path, size, o, p.submit))
+		return nil
+	})
+	return rep, err
+}
+
+// ScrubFile verifies one container, fanning per-frame work through
+// submit, and optionally repairs it.
+func ScrubFile(fsys vfs.FS, path string, size int64, o ScrubOptions, submit Submit) FileReport {
+	fr := FileReport{Path: path}
+	f, err := fsys.Open(path, vfs.ReadOnly)
+	if err != nil {
+		fr.Err = err.Error()
+		return fr
+	}
+	defer f.Close()
+	frames, intact, stopErr := codec.ScanPrefix(f, size)
+	if stopErr != nil {
+		if !errors.Is(stopErr, codec.ErrCorrupt) && !errors.Is(stopErr, codec.ErrNotFramed) {
+			fr.Err = stopErr.Error() // backend failure, not damage
+			return fr
+		}
+		fr.TornBytes = size - intact
+	}
+	res := VerifyFrames(f, frames, submit)
+	fr.Frames = res.Verified
+	fr.Bytes = res.Bytes
+	fr.CorruptFrames = res.Corrupt
+	if res.Failed > 0 {
+		// Backend failures make the file unverifiable; never repair on
+		// them (the bytes may be fine and the backend transiently sick).
+		fr.Err = res.Err
+	}
+	if !o.Repair || !fr.Damaged() || fr.Err != "" {
+		return fr
+	}
+	// Prefix repair: keep everything up to the first defect. A corrupt
+	// frame truncates at its own header; a clean frame set with a torn
+	// tail truncates at the end of the chain.
+	good := intact
+	if res.FirstCorrupt >= 0 && res.FirstCorrupt < good {
+		good = res.FirstCorrupt
+	}
+	if err := fsys.Truncate(path, good); err != nil {
+		fr.Err = fmt.Sprintf("repair: %v", err)
+		return fr
+	}
+	fr.Repaired = true
+	return fr
+}

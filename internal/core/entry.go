@@ -75,6 +75,14 @@ type fileEntry struct {
 	// means no repair is due.
 	pendingRepair int64
 
+	// retired holds backend handles replaced by compaction (the rewrite
+	// swaps in a handle to the renamed replacement). They are closed at
+	// the entry's last close, not at swap time: a stale snapshot taken
+	// just before the swap (a prefetch job, a Sync) may still issue one
+	// more operation on the old handle, which must hit a valid — if
+	// orphaned — file rather than a closed one. Guarded by mu.
+	retired []interface{ Close() error }
+
 	// decMu guards the one-frame decode cache, which makes sequential
 	// small reads of a container cheap. Cached buffers are immutable
 	// once published, so readers use them after dropping the lock and
@@ -306,6 +314,29 @@ func (e *fileEntry) pathName() string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.name
+}
+
+// backend returns the entry's current backend handle. Compaction can
+// swap the handle (the rewrite renames a replacement file over the
+// original), so any access outside mu/truncMu must go through a
+// snapshot; a stale snapshot still points at an open, orphaned handle
+// (see retired).
+func (e *fileEntry) backend() backendHandle {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.backendFile
+}
+
+// closeRetired closes the backend handles compaction retired. Called at
+// the entry's last close and at unmount.
+func (e *fileEntry) closeRetired() {
+	e.mu.Lock()
+	retired := e.retired
+	e.retired = nil
+	e.mu.Unlock()
+	for _, h := range retired {
+		h.Close()
+	}
 }
 
 // frameExtent computes the logical size and next sequence number of a

@@ -137,7 +137,14 @@ func (f *file) Sync() error {
 		return err
 	}
 	f.fs.stats.syncs.Add(1)
-	return e.backendFile.Sync()
+	// The handle is snapshotted under mu (compaction can swap it); a
+	// sync that races a swap fsyncs the retired handle, which is already
+	// fully durable — the replacement was synced before the rename.
+	if err := e.backend().Sync(); err != nil {
+		return err
+	}
+	f.fs.maybeCompact(e)
+	return nil
 }
 
 // Stat implements vfs.File. It resolves the entry's *current* table key,
@@ -166,7 +173,13 @@ func (f *file) Close() error {
 	e.flushTail()
 	drainErr := e.drainReport()
 	if drainErr == nil && f.fs.opts.SyncOnClose && f.flag.Writable() {
-		drainErr = e.backendFile.Sync()
+		drainErr = e.backend().Sync()
+	}
+	if drainErr == nil && f.flag.Writable() {
+		// Post-close compaction check (the policy's natural trigger: a
+		// checkpoint rewrite just finished). Runs before the table
+		// reference drops, so the entry machinery is still pinned.
+		f.fs.maybeCompact(e)
 	}
 	releaseErr := f.fs.releaseEntry(e)
 	if drainErr != nil {

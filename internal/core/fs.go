@@ -18,7 +18,22 @@ type FS struct {
 	// queue; workers prefer write chunks, and producers never block on it
 	// (a full queue drops the job — read-ahead is best-effort).
 	prefetchq chan prefetchJob
-	encBufs   sync.Pool // *[]byte frame encode scratch, one per in-flight encode
+	// jobq feeds maintenance work (scrub frame verification) to the same
+	// IO workers at the lowest priority: write chunks first, read-ahead
+	// second, maintenance last — the pool is idle-capable, so scrubbing
+	// rides on whatever capacity checkpoint traffic leaves free. jobMu
+	// and jobsClosed form the shutdown handshake: senders hold the read
+	// half across their (blocking) send, Unmount takes the write half
+	// before closing the channel (see enqueueJob).
+	jobq       chan func()
+	jobMu      sync.RWMutex
+	jobsClosed bool
+	encBufs    sync.Pool // *[]byte frame encode scratch, one per in-flight encode
+
+	// bgStop/bgDone bracket the background compaction goroutine
+	// (Options.Compaction.Interval); nil when it is not running.
+	bgStop chan struct{}
+	bgDone chan struct{}
 
 	mu      sync.Mutex
 	files   map[string]*fileEntry // open-file hash table, keyed by clean path
@@ -67,9 +82,15 @@ func Mount(backend vfs.FS, opts Options) (*FS, error) {
 	fs.statCache = make(map[string]statProbe)
 	fs.queue = make(chan *chunk, fs.pool.total)
 	fs.prefetchq = make(chan prefetchJob, fs.pool.total+opts.ReadAhead)
+	fs.jobq = make(chan func(), 4*opts.IOThreads)
 	fs.workers.Add(opts.IOThreads)
 	for i := 0; i < opts.IOThreads; i++ {
 		go fs.ioWorker()
+	}
+	if opts.Compaction.enabled() && opts.Compaction.Interval > 0 {
+		fs.bgStop = make(chan struct{})
+		fs.bgDone = make(chan struct{})
+		go fs.backgroundCompactor()
 	}
 	return fs, nil
 }
@@ -90,27 +111,69 @@ func (fs *FS) Backend() vfs.FS { return fs.backend }
 // checkpoint stream is never stalled behind restart read-ahead.
 func (fs *FS) ioWorker() {
 	defer fs.workers.Done()
-	for {
-		select {
-		case c, ok := <-fs.queue:
-			if !ok {
-				return
+	// Local copies are nil-ed as each queue closes: a worker exits only
+	// once every tier is closed *and* drained, so maintenance jobs
+	// buffered in jobq when Unmount closes the write queue still run
+	// (their waiters would otherwise hang forever). A nil channel never
+	// fires in a select, which is exactly the drop-the-tier semantics.
+	queue, prefetchq, jobq := fs.queue, fs.prefetchq, fs.jobq
+	for queue != nil || prefetchq != nil || jobq != nil {
+		if queue != nil {
+			select {
+			case c, ok := <-queue:
+				if ok {
+					fs.writeChunk(c)
+				} else {
+					queue = nil
+				}
+				continue
+			default:
 			}
-			fs.writeChunk(c)
-			continue
-		default:
 		}
+		if prefetchq != nil {
+			select {
+			case j, ok := <-prefetchq:
+				if ok {
+					fs.runPrefetch(j)
+				} else {
+					prefetchq = nil
+				}
+				continue
+			default:
+			}
+		}
+		if jobq != nil {
+			select {
+			case j, ok := <-jobq:
+				if ok {
+					j()
+				} else {
+					jobq = nil
+				}
+				continue
+			default:
+			}
+		}
+		// Every tier idle: block until any live one has work.
 		select {
-		case c, ok := <-fs.queue:
-			if !ok {
-				return
+		case c, ok := <-queue:
+			if ok {
+				fs.writeChunk(c)
+			} else {
+				queue = nil
 			}
-			fs.writeChunk(c)
-		case j, ok := <-fs.prefetchq:
-			if !ok {
-				return
+		case j, ok := <-prefetchq:
+			if ok {
+				fs.runPrefetch(j)
+			} else {
+				prefetchq = nil
 			}
-			fs.runPrefetch(j)
+		case j, ok := <-jobq:
+			if ok {
+				j()
+			} else {
+				jobq = nil
+			}
 		}
 	}
 }
@@ -540,6 +603,7 @@ func (fs *FS) releaseEntry(entry *fileEntry) error {
 		entry.pf.invalidate()
 	}
 	fs.invalidateProbe(name)
+	entry.closeRetired()
 	return entry.backendFile.Close()
 }
 
@@ -921,6 +985,12 @@ func (fs *FS) Unmount() error {
 	fs.files = make(map[string]*fileEntry)
 	fs.mu.Unlock()
 
+	if fs.bgStop != nil {
+		// Stop the background compactor before tearing entries down: a
+		// compaction racing the drain below would swap handles under it.
+		close(fs.bgStop)
+		<-fs.bgDone
+	}
 	var firstErr error
 	for _, e := range entries {
 		e.flushTail()
@@ -932,12 +1002,21 @@ func (fs *FS) Unmount() error {
 		if e.pf != nil {
 			e.pf.invalidate()
 		}
+		e.closeRetired()
 		if err := e.backendFile.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	close(fs.queue)
 	close(fs.prefetchq)
+	// The write lock waits out any scrubber blocked in a jobq send (the
+	// workers are still draining, so those sends complete); after it,
+	// new submissions are refused and run inline, and the close below
+	// cannot race a send.
+	fs.jobMu.Lock()
+	fs.jobsClosed = true
+	fs.jobMu.Unlock()
+	close(fs.jobq)
 	fs.workers.Wait()
 	return firstErr
 }

@@ -405,6 +405,11 @@ func (fs *FS) runPrefetch(j prefetchJob) {
 	pf.mu.Unlock()
 	e.mu.Lock()
 	clean := e.doneChunks == e.writeChunks && (e.active == nil || e.active.fill.Load() == 0)
+	// Snapshot the handle under mu: compaction can swap it, and a stale
+	// snapshot must keep pointing at an open (retired) handle. A fetch
+	// that raced the swap publishes nothing — the swap bumped the
+	// generation.
+	bf := e.backendFile
 	e.mu.Unlock()
 	if !clean {
 		pf.drop(j.key)
@@ -412,7 +417,7 @@ func (fs *FS) runPrefetch(j prefetchJob) {
 	}
 	if j.framed {
 		enc := make([]byte, j.fr.Header.EncLen)
-		if _, err := e.backendFile.ReadAt(enc, j.fr.Pos+codec.HeaderSize); err != nil {
+		if _, err := bf.ReadAt(enc, j.fr.Pos+codec.HeaderSize); err != nil {
 			pf.drop(j.key)
 			return
 		}
@@ -430,7 +435,7 @@ func (fs *FS) runPrefetch(j prefetchJob) {
 		pf.drop(j.key)
 		return
 	}
-	n, err := e.backendFile.ReadAt(c.buf[:j.n], j.key)
+	n, err := bf.ReadAt(c.buf[:j.n], j.key)
 	if (err != nil && err != io.EOF) || n == 0 {
 		c.unpin()
 		pf.drop(j.key)

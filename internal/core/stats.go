@@ -38,6 +38,13 @@ type statCounters struct {
 	prefetchMisses atomic.Int64
 	prefetchWasted atomic.Int64
 	prefetchBytes  atomic.Int64
+
+	containersCompacted   atomic.Int64
+	compactFramesDropped  atomic.Int64
+	compactBytesReclaimed atomic.Int64
+	framesVerified        atomic.Int64
+	scrubCorruptions      atomic.Int64
+	scrubRepaired         atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of a mount's activity. It quantifies
@@ -117,6 +124,23 @@ type Stats struct {
 	// SalvageBytesTruncated is the container bytes dropped past the
 	// intact prefixes of salvaged containers.
 	SalvageBytesTruncated int64
+	// ContainersCompacted counts frame containers rewritten to their
+	// minimal equivalent by the online compaction engine.
+	ContainersCompacted int64
+	// CompactFramesDropped counts dead frames (fully shadowed extents,
+	// pads, superseded markers) dropped by those rewrites.
+	CompactFramesDropped int64
+	// CompactBytesReclaimed is the backend bytes the rewrites reclaimed
+	// (dead frames plus any unrepaired torn junk the rewrite absorbed).
+	CompactBytesReclaimed int64
+	// FramesVerified counts container frames whose payload the scrub
+	// engine read back and decode-verified intact.
+	FramesVerified int64
+	// ScrubCorruptions counts frames that failed scrub verification.
+	ScrubCorruptions int64
+	// ScrubRepaired counts containers the scrub truncated to their
+	// longest verified frame prefix (ScrubOptions.Repair).
+	ScrubRepaired int64
 }
 
 // AggregationRatio returns application writes per backend write, the
@@ -176,6 +200,26 @@ func (s Stats) Recovery() metrics.RecoveryStats {
 	}
 }
 
+// Compaction returns the online compaction activity as a
+// metrics.CompactionStats summary.
+func (s Stats) Compaction() metrics.CompactionStats {
+	return metrics.CompactionStats{
+		Compacted:      s.ContainersCompacted,
+		FramesDropped:  s.CompactFramesDropped,
+		BytesReclaimed: s.CompactBytesReclaimed,
+	}
+}
+
+// Scrub returns the scrub engine's activity as a metrics.ScrubStats
+// summary.
+func (s Stats) Scrub() metrics.ScrubStats {
+	return metrics.ScrubStats{
+		FramesVerified: s.FramesVerified,
+		Corruptions:    s.ScrubCorruptions,
+		Repaired:       s.ScrubRepaired,
+	}
+}
+
 // Stats returns a snapshot of the mount's counters.
 func (fs *FS) Stats() Stats {
 	return Stats{
@@ -206,5 +250,12 @@ func (fs *FS) Stats() Stats {
 		ContainersRepaired:    fs.stats.containersRepaired.Load(),
 		SalvageFramesDropped:  fs.stats.salvageFramesDropped.Load(),
 		SalvageBytesTruncated: fs.stats.salvageBytesTruncated.Load(),
+
+		ContainersCompacted:   fs.stats.containersCompacted.Load(),
+		CompactFramesDropped:  fs.stats.compactFramesDropped.Load(),
+		CompactBytesReclaimed: fs.stats.compactBytesReclaimed.Load(),
+		FramesVerified:        fs.stats.framesVerified.Load(),
+		ScrubCorruptions:      fs.stats.scrubCorruptions.Load(),
+		ScrubRepaired:         fs.stats.scrubRepaired.Load(),
 	}
 }

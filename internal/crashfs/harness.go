@@ -1,6 +1,7 @@
 package crashfs
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -66,6 +67,13 @@ type HarnessConfig struct {
 	ChunkSize int64
 	// Repair sets RepairOnOpen on the verify mounts.
 	Repair bool
+	// Compaction enables online container compaction: the record mount
+	// runs an aggressive policy (so the workload's overwrites trigger
+	// rewrites whose temp-write + rename mutations land in the crash
+	// log), and every crash point additionally compacts each file after
+	// the first read and re-reads it — proving compaction of any
+	// crash-state container never changes the readable bytes.
+	Compaction bool
 	// Torn adds intra-write cuts (first byte, mid-payload, last-byte-
 	// short) to the enumerated boundaries, exercising torn frames.
 	Torn bool
@@ -81,6 +89,9 @@ type HarnessResult struct {
 	Violations []string // durability contract violations (nil = proven)
 	// Recovery totals across all verify mounts.
 	Salvaged, Repaired, FramesDropped, BytesTruncated int64
+	// Compaction totals: rewrites by the record mount's policy and by
+	// the per-point compact-and-reread check.
+	RecordCompactions, PointCompactions int64
 }
 
 // ack is one durability acknowledgment: after step Step returned, every
@@ -122,6 +133,8 @@ func MixedWorkload() []Step {
 		{StepWrite, "ckpt/a.img", 0, 40}, // overwrite of synced data
 		{StepWrite, "ckpt/b.img", 240, 100},
 		{StepClose, "ckpt/b.img", 0, 0},
+		{StepWrite, "ckpt/a.img", 0, 192}, // full-chunk rewrite: whole frames go dead
+		{StepSync, "ckpt/a.img", 0, 0},    // compaction policy (when enabled) fires here
 		{StepWrite, "ckpt/a.img", 420, 100},
 		{StepClose, "ckpt/a.img", 0, 0},
 	}
@@ -145,6 +158,12 @@ func RunHarness(cfg HarnessConfig, steps []Step) (*HarnessResult, error) {
 		BufferPoolSize: 16 * cfg.ChunkSize,
 		IOThreads:      1,
 		Codec:          cfg.Codec,
+	}
+	if cfg.Compaction {
+		// Aggressive thresholds so the mixed workload's overwrites make
+		// the record mount compact at its Sync/Close points, injecting
+		// the rewrite protocol's mutations into the crash log.
+		opts.Compaction = core.CompactionPolicy{MinDeadRatio: 0.01, MinDeadBytes: 1}
 	}
 	fs, err := core.Mount(crash, opts)
 	if err != nil {
@@ -245,7 +264,11 @@ func RunHarness(cfg HarnessConfig, steps []Step) (*HarnessResult, error) {
 		points = sampled
 	}
 
-	res := &HarnessResult{Mutations: crash.Len(), Points: len(points)}
+	res := &HarnessResult{
+		Mutations:         crash.Len(),
+		Points:            len(points),
+		RecordCompactions: fs.Stats().ContainersCompacted,
+	}
 	for _, p := range points {
 		if err := verifyPoint(crash, cfg, p, snaps, acks, res); err != nil {
 			return nil, err
@@ -336,12 +359,30 @@ func verifyPoint(crash *FS, cfg HarnessConfig, p Point, snaps []map[string][]byt
 				break
 			}
 		}
+		if cfg.Compaction {
+			// Compact the crash-state container — whatever shape the cut
+			// left it in (clean, torn-and-salvaged, mid-replace) — and
+			// prove the readable bytes are untouched.
+			if cerr := vfs2.Compact(name); cerr != nil {
+				violate("%s: compaction at crash state failed: %v", name, cerr)
+				continue
+			}
+			again, rerr := readAll(vfs2, name)
+			if rerr != nil {
+				violate("%s: unreadable after crash-state compaction: %v", name, rerr)
+				continue
+			}
+			if !bytes.Equal(again, got) {
+				violate("%s: crash-state compaction changed readable bytes (%d -> %d)", name, len(got), len(again))
+			}
+		}
 	}
 	st := vfs2.Stats()
 	res.Salvaged += st.ContainersSalvaged
 	res.Repaired += st.ContainersRepaired
 	res.FramesDropped += st.SalvageFramesDropped
 	res.BytesTruncated += st.SalvageBytesTruncated
+	res.PointCompactions += st.ContainersCompacted
 	return nil
 }
 

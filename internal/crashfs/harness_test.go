@@ -56,6 +56,31 @@ func TestCrashPointsDeflateRepair(t *testing.T) {
 	}
 }
 
+func TestCrashPointsDeflateCompaction(t *testing.T) {
+	// Compaction enabled: the record mount's policy rewrites containers
+	// mid-workload (temp-write + rename mutations land in the crash
+	// log), and every point compacts each crash-state container and
+	// re-reads it. Zero violations proves compaction never breaks the
+	// durability contract at any crash point.
+	res := runHarness(t, HarnessConfig{Codec: codec.Deflate(), Torn: true, Compaction: true})
+	if res.RecordCompactions == 0 {
+		t.Error("record mount never compacted; the policy should fire on the mixed workload's overwrites")
+	}
+	if res.PointCompactions == 0 {
+		t.Error("no crash-state compactions ran")
+	}
+	t.Logf("compaction: %d mutations, %d points, record-compactions=%d point-compactions=%d salvaged=%d",
+		res.Mutations, res.Points, res.RecordCompactions, res.PointCompactions, res.Salvaged)
+}
+
+func TestCrashPointsCompactionRepair(t *testing.T) {
+	res := runHarness(t, HarnessConfig{Codec: codec.Deflate(), Torn: true, Compaction: true, Repair: true})
+	if res.RecordCompactions == 0 || res.PointCompactions == 0 {
+		t.Errorf("compaction+repair sweep: record=%d point=%d, want both > 0",
+			res.RecordCompactions, res.PointCompactions)
+	}
+}
+
 func TestCrashPointsBoundariesOnly(t *testing.T) {
 	// Every write boundary of the mixed workload, no torn cuts: the
 	// acceptance floor ("enumerates every write boundary").
