@@ -86,6 +86,7 @@ func main() {
 	crash := flag.Bool("crash", false, "run the crash-point enumeration harness and verify the durability contract")
 	compactRun := flag.Bool("compact", false, "run the space-amplification sweep (rewrite-heavy workload, compaction, scrub scaling)")
 	rewrites := flag.Int("rewrites", 4, "with -compact: overwrite passes over the checkpoint image")
+	frameV := flag.Int("framev", 0, "with -real: frame format version to write (0=current, 1=legacy no-checksum, 2=checksummed)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per scenario instead of human-readable text")
 	flag.Parse()
 
@@ -106,7 +107,7 @@ func main() {
 		if *restart {
 			err = restartBench(emit, *codecName, *size, *bs, *entropy, *readAhead, *delay)
 		} else {
-			err = realBench(emit, *codecName, *size, *bs, *entropy, *mix, *readFrac, *delay)
+			err = realBench(emit, *codecName, *size, *bs, *entropy, *mix, *readFrac, *delay, *frameV)
 		}
 		if err != nil {
 			fatal(err)
@@ -184,8 +185,8 @@ func crashBench(emit *emitter) error {
 		{"deflate+compact+repair", crfs.DeflateCodec(), true, true},
 	}
 	if !emit.json {
-		fmt.Printf("%-24s %10s %8s %10s %9s %9s %11s %10s %9s %9s\n",
-			"config", "mutations", "points", "violations", "salvaged", "repaired", "frames-lost", "bytes-cut", "rec-cmpct", "pt-cmpct")
+		fmt.Printf("%-24s %10s %8s %10s %9s %9s %11s %10s %9s %9s %9s %9s\n",
+			"config", "mutations", "points", "violations", "salvaged", "repaired", "frames-lost", "bytes-cut", "rec-cmpct", "pt-cmpct", "crc-ok", "crc-fail")
 	}
 	failed := false
 	for _, m := range matrix {
@@ -207,13 +208,18 @@ func crashBench(emit *emitter) error {
 			BytesCut          int64  `json:"bytes_cut"`
 			RecordCompactions int64  `json:"record_compactions"`
 			PointCompactions  int64  `json:"point_compactions"`
+			ChecksumVerified  int64  `json:"checksum_verified"`
+			ChecksumSkipped   int64  `json:"checksum_skipped"`
+			ChecksumFailed    int64  `json:"checksum_failed"`
 		}{"crash", m.name, res.Mutations, res.Points, len(res.Violations),
 			res.Salvaged, res.Repaired, res.FramesDropped, res.BytesTruncated,
-			res.RecordCompactions, res.PointCompactions},
-			fmt.Sprintf("%-24s %10d %8d %10d %9d %9d %11d %10d %9d %9d",
+			res.RecordCompactions, res.PointCompactions,
+			res.ChecksumVerified, res.ChecksumSkipped, res.ChecksumFailed},
+			fmt.Sprintf("%-24s %10d %8d %10d %9d %9d %11d %10d %9d %9d %9d %9d",
 				m.name, res.Mutations, res.Points, len(res.Violations),
 				res.Salvaged, res.Repaired, res.FramesDropped, res.BytesTruncated,
-				res.RecordCompactions, res.PointCompactions))
+				res.RecordCompactions, res.PointCompactions,
+				res.ChecksumVerified, res.ChecksumFailed))
 		for _, v := range res.Violations {
 			failed = true
 			fmt.Fprintf(os.Stderr, "  VIOLATION [%s]: %s\n", m.name, v)
@@ -248,7 +254,7 @@ func payloadPool(bs int) []byte {
 // already-written offsets are interleaved at the given fraction; they are
 // served by the buffered-read-through overlay, so the write pipeline
 // never drains mid-run.
-func realBench(emit *emitter, codecName string, size int64, bs int, entropy float64, mix bool, readFrac float64, delay time.Duration) error {
+func realBench(emit *emitter, codecName string, size int64, bs int, entropy float64, mix bool, readFrac float64, delay time.Duration, frameV int) error {
 	if entropy < 0 || entropy > 1 {
 		return fmt.Errorf("crfsbench: -entropy %v out of range [0,1]", entropy)
 	}
@@ -262,9 +268,12 @@ func realBench(emit *emitter, codecName string, size int64, bs int, entropy floa
 	if err != nil {
 		return err
 	}
-	fs, err := crfs.Mount(memfs.New(memfs.WithWriteDelay(delay)), crfs.Options{Codec: cdc})
+	fs, err := crfs.Mount(memfs.New(memfs.WithWriteDelay(delay)), crfs.Options{Codec: cdc, FrameVersion: frameV})
 	if err != nil {
 		return err
+	}
+	if frameV == 0 {
+		frameV = crfs.FrameVersion
 	}
 	flag := crfs.OpenFlag(crfs.WriteOnly)
 	if mix {
@@ -314,8 +323,8 @@ func realBench(emit *emitter, codecName string, size int64, bs int, entropy floa
 		scenario = "mix"
 	}
 	human := []string{
-		fmt.Sprintf("real: codec=%s wrote %d bytes, read %d bytes in %.3fs (%.1f MB/s)",
-			cdc.Name(), st.BytesWritten, st.BytesRead, el, float64(moved)/el/(1<<20)),
+		fmt.Sprintf("real: codec=%s framev=%d wrote %d bytes, read %d bytes in %.3fs (%.1f MB/s)",
+			cdc.Name(), frameV, st.BytesWritten, st.BytesRead, el, float64(moved)/el/(1<<20)),
 		fmt.Sprintf("app writes: %d, backend writes: %d (aggregation %.1fx), backend bytes: %d",
 			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BackendBytes),
 	}
@@ -328,6 +337,7 @@ func realBench(emit *emitter, codecName string, size int64, bs int, entropy floa
 	emit.scenario(struct {
 		Scenario         string  `json:"scenario"`
 		Codec            string  `json:"codec"`
+		FrameVersion     int     `json:"frame_version"`
 		DelayUS          int64   `json:"delay_us"`
 		BytesWritten     int64   `json:"bytes_written"`
 		BytesRead        int64   `json:"bytes_read"`
@@ -340,7 +350,7 @@ func realBench(emit *emitter, codecName string, size int64, bs int, entropy floa
 		CodecRatio       float64 `json:"codec_ratio"`
 		ReadsFromBuffer  int64   `json:"reads_from_buffer"`
 		DrainsAvoided    int64   `json:"drains_avoided"`
-	}{scenario, cdc.Name(), delay.Microseconds(), st.BytesWritten, st.BytesRead, el,
+	}{scenario, cdc.Name(), frameV, delay.Microseconds(), st.BytesWritten, st.BytesRead, el,
 		float64(moved) / el / (1 << 20), st.Writes, st.BackendWrites, st.AggregationRatio(),
 		st.BackendBytes, st.CompressionRatio(), st.ReadsFromBuffer, st.ReadDrainsAvoided},
 		human...)

@@ -125,13 +125,15 @@ func serve(fs *crfs.FS, conn net.Conn) {
 		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f "+
 			"scanned=%d salvaged=%d repaired=%d salvage_frames_dropped=%d salvage_bytes_truncated=%d failed_chunks=%d "+
 			"compacted=%d compact_frames_dropped=%d compact_bytes_reclaimed=%d "+
-			"frames_verified=%d scrub_corruptions=%d scrub_repaired=%d\n",
+			"frames_verified=%d scrub_corruptions=%d scrub_repaired=%d "+
+			"checksum_verified=%d checksum_failed=%d checksum_skipped=%d\n",
 			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits,
 			st.CodecBytesIn, st.CodecBytesOut, st.CompressionRatio(),
 			st.ContainersScanned, st.ContainersSalvaged, st.ContainersRepaired,
 			st.SalvageFramesDropped, st.SalvageBytesTruncated, st.FailedChunks,
 			st.ContainersCompacted, st.CompactFramesDropped, st.CompactBytesReclaimed,
-			st.FramesVerified, st.ScrubCorruptions, st.ScrubRepaired)
+			st.FramesVerified, st.ScrubCorruptions, st.ScrubRepaired,
+			st.ChecksumVerified, st.ChecksumFailed, st.ChecksumSkipped)
 	case "SCRUB":
 		rep, err := fs.Scrub(crfs.ScrubOptions{})
 		if err != nil {

@@ -128,6 +128,16 @@ const (
 	DefaultIOThreads      = core.DefaultIOThreads
 )
 
+// Frame format versions for Options.FrameVersion. Version 2 headers
+// carry a CRC32-C of each frame's uncompressed payload, verified on
+// every decode path; version 1 is the legacy checksum-less layout.
+// Readers always accept both.
+const (
+	FrameVersion1 = codec.Version1
+	FrameVersion2 = codec.Version2
+	FrameVersion  = codec.Version // written by default
+)
+
 // RawCodec returns the passthrough chunk codec (the default): backend
 // output is byte-identical to a codec-less mount.
 func RawCodec() Codec { return codec.Raw() }
@@ -149,6 +159,11 @@ var (
 	ErrClosed   = vfs.ErrClosed
 	ErrInvalid  = vfs.ErrInvalid
 	ErrReadOnly = vfs.ErrReadOnly
+	// ErrCorrupt reports a malformed or inconsistent container frame;
+	// ErrChecksum is its sub-error for a v2 payload that decoded but
+	// failed its CRC32-C (errors.Is(err, ErrCorrupt) holds for both).
+	ErrCorrupt  = codec.ErrCorrupt
+	ErrChecksum = codec.ErrChecksum
 )
 
 // Mount stacks CRFS over a backend filesystem.

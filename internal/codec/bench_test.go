@@ -1,0 +1,57 @@
+package codec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// Frame encode/decode microbenchmarks, split by codec and frame
+// version. The v1-vs-v2 delta is the isolated cost of the CRC32-C over
+// the uncompressed payload — the number the "checksum overhead" table
+// in EXPERIMENTS.md reports, free of mount-level noise.
+
+func benchPayload() []byte {
+	return bytes.Repeat([]byte("checkpoint restart state, mildly compressible. "), 64<<10/47)
+}
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	payload := benchPayload()
+	for _, c := range []Codec{Raw(), Deflate()} {
+		for _, ver := range []uint8{Version1, Version2} {
+			b.Run(fmt.Sprintf("%s/v%d", c.Name(), ver), func(b *testing.B) {
+				b.SetBytes(int64(len(payload)))
+				var buf []byte
+				for i := 0; i < b.N; i++ {
+					var err error
+					buf, _, err = EncodeFrameVersion(c, ver, uint64(i), 0, payload, buf[:0])
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDecodeFrame(b *testing.B) {
+	payload := benchPayload()
+	for _, c := range []Codec{Raw(), Deflate()} {
+		for _, ver := range []uint8{Version1, Version2} {
+			frame, hdr, err := EncodeFrameVersion(c, ver, 0, 0, payload, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/v%d", c.Name(), ver), func(b *testing.B) {
+				b.SetBytes(int64(len(payload)))
+				var buf []byte
+				for i := 0; i < b.N; i++ {
+					buf, err = DecodeFrame(hdr, frame[HeaderSize:], buf[:0])
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -7,16 +7,17 @@ import (
 	"testing"
 )
 
-// TestHeaderGoldenBytes pins the on-disk frame header layout. If this
+// TestHeaderGoldenBytes pins the on-disk v1 frame header layout. If this
 // test breaks, existing containers become unreadable: bump Version and
 // add migration instead of editing the expectation.
 func TestHeaderGoldenBytes(t *testing.T) {
 	h := Header{
-		Codec:  DeflateID,           // 0x01
-		Seq:    0x00234567_89abcdef, // within MaxSeq
-		Off:    0x0007060504030201,  // within MaxLogicalOff
-		RawLen: 0xaabbccdd,
-		EncLen: 0x11223344,
+		Version: Version1,
+		Codec:   DeflateID,           // 0x01
+		Seq:     0x00234567_89abcdef, // within MaxSeq
+		Off:     0x0007060504030201,  // within MaxLogicalOff
+		RawLen:  0xaabbccdd,
+		EncLen:  0x11223344,
 	}
 	b := make([]byte, HeaderSize)
 	PutHeader(b, h)
@@ -38,6 +39,51 @@ func TestHeaderGoldenBytes(t *testing.T) {
 	}
 	if back != h {
 		t.Fatalf("ParseHeader(PutHeader(h)) = %+v, want %+v", back, h)
+	}
+}
+
+// TestHeaderGoldenBytesV2 pins the v2 layout the same way: the sequence
+// number narrows to 32 bits and the freed 4 bytes carry the payload
+// CRC32-C. Offset, raw length, and encoded length keep their v1 byte
+// offsets.
+func TestHeaderGoldenBytesV2(t *testing.T) {
+	h := Header{
+		Version:  Version2,
+		Codec:    DeflateID,          // 0x01
+		Seq:      0x89abcdef,         // within MaxSeqV2
+		Checksum: 0x67452301,         // payload CRC32-C
+		Off:      0x0007060504030201, // within MaxLogicalOff
+		RawLen:   0xaabbccdd,
+		EncLen:   0x11223344,
+	}
+	b := make([]byte, HeaderSize)
+	PutHeader(b, h)
+	want := "" +
+		"43524643" + // magic "CRFC"
+		"02" + // version 2
+		"01" + // codec id: deflate
+		"0000" + // reserved
+		"efcdab89" + // seq (u32), little-endian
+		"01234567" + // payload crc32c, little-endian
+		"0102030405060700" + // logical offset, little-endian
+		"ddccbbaa" + // raw length, little-endian
+		"44332211" // encoded length, little-endian
+	if got := hex.EncodeToString(b); got != want {
+		t.Fatalf("v2 header layout changed:\n got %s\nwant %s", got, want)
+	}
+	back, err := ParseHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("ParseHeader(PutHeader(h)) = %+v, want %+v", back, h)
+	}
+	// The zero Version serializes as the current version (v2).
+	cur := h
+	cur.Version = 0
+	PutHeader(b, cur)
+	if b[4] != Version {
+		t.Fatalf("zero Version serialized as %d, want %d", b[4], Version)
 	}
 }
 
@@ -69,10 +115,35 @@ func TestParseHeaderRejects(t *testing.T) {
 	// Sequence numbers near MaxUint64 would overflow the container
 	// scanner's nextSeq computation to zero (fuzz-found); they are as
 	// implausible as a 2^62 offset and must be rejected the same way.
+	// Only v1 headers can carry one — the v2 field is 32 bits wide.
 	overSeq := make([]byte, HeaderSize)
-	PutHeader(overSeq, Header{Codec: RawID, Seq: ^uint64(0)})
+	PutHeader(overSeq, Header{Version: Version1, Codec: RawID, Seq: ^uint64(0)})
 	if _, err := ParseHeader(overSeq); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("implausible seq: %v, want ErrCorrupt", err)
+	}
+	// Version 3 from the future must be rejected, not misread under
+	// today's layout.
+	v3 := bytes.Clone(b)
+	v3[4] = 3
+	if _, err := ParseHeader(v3); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("v3 header: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestEncodeFrameVersionBounds pins the per-version encode guards: only
+// versions 1 and 2 encode, and the v2 sequence bound is 2^32-1.
+func TestEncodeFrameVersionBounds(t *testing.T) {
+	if _, _, err := EncodeFrameVersion(Raw(), 3, 0, 0, nil, nil); err == nil {
+		t.Error("encoded a version-3 frame")
+	}
+	if _, _, err := EncodeFrameVersion(Raw(), 0, 0, 0, nil, nil); err == nil {
+		t.Error("encoded a version-0 frame")
+	}
+	if _, _, err := EncodeFrameVersion(Raw(), Version2, MaxSeqV2+1, 0, nil, nil); err == nil {
+		t.Error("v2 frame accepted a sequence past MaxSeqV2")
+	}
+	if _, _, err := EncodeFrameVersion(Raw(), Version1, MaxSeqV2+1, 0, nil, nil); err != nil {
+		t.Errorf("v1 frame rejected a legal sequence: %v", err)
 	}
 }
 

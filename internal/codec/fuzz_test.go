@@ -6,10 +6,16 @@ import (
 	"testing"
 )
 
-// frameBytes builds a well-formed frame for seeding the fuzzers.
+// frameBytes builds a well-formed frame (current version) for seeding
+// the fuzzers; frameBytesV pins the frame version explicitly.
 func frameBytes(t testing.TB, c Codec, seq uint64, off int64, payload []byte) []byte {
 	t.Helper()
-	frame, _, err := EncodeFrame(c, seq, off, payload, nil)
+	return frameBytesV(t, c, Version, seq, off, payload)
+}
+
+func frameBytesV(t testing.TB, c Codec, ver uint8, seq uint64, off int64, payload []byte) []byte {
+	t.Helper()
+	frame, _, err := EncodeFrameVersion(c, ver, seq, off, payload, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,6 +47,22 @@ func FuzzFrameDecode(f *testing.F) {
 	garble := bytes.Clone(frameBytes(f, Raw(), 0, 0, []byte("garbagegarbage")))
 	garble[5] = byte(DeflateID)
 	f.Add(garble)
+	// Both on-disk versions, plus v2-specific mutations: a zeroed
+	// checksum field, a flipped payload bit under an intact checksum, and
+	// version 3 from the future (must reject, not misread as today's
+	// layout — the v2 bump moved fields inside the same 32 bytes once
+	// already).
+	f.Add(frameBytesV(f, Raw(), Version1, 5, 128, []byte("legacy v1 frame")))
+	f.Add(frameBytesV(f, Deflate(), Version2, 6, 256, bytes.Repeat([]byte("v2 "), 50)))
+	crcZero := bytes.Clone(frameBytesV(f, Raw(), Version2, 0, 0, []byte("checksummed")))
+	crcZero[12], crcZero[13], crcZero[14], crcZero[15] = 0, 0, 0, 0
+	f.Add(crcZero)
+	bitrot := bytes.Clone(frameBytesV(f, Raw(), Version2, 0, 0, []byte("checksummed")))
+	bitrot[HeaderSize+3] ^= 0x01
+	f.Add(bitrot)
+	v3 := bytes.Clone(frameBytesV(f, Raw(), Version2, 0, 0, []byte("x")))
+	v3[4] = 3
+	f.Add(v3)
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		h, err := ParseHeader(b)
@@ -49,6 +71,9 @@ func FuzzFrameDecode(f *testing.F) {
 				t.Fatalf("ParseHeader: unexpected error class %v", err)
 			}
 			return
+		}
+		if h.Version != Version1 && h.Version != Version2 {
+			t.Fatalf("ParseHeader accepted version %d", h.Version)
 		}
 		if h.Off < 0 || h.Off > MaxLogicalOff {
 			t.Fatalf("ParseHeader accepted implausible offset %d", h.Off)
@@ -59,10 +84,18 @@ func FuzzFrameDecode(f *testing.F) {
 		}
 		raw, err := DecodeFrame(h, payload, nil)
 		if err != nil {
+			if errors.Is(err, ErrChecksum) && h.Version < Version2 {
+				t.Fatal("checksum verdict on a frame that carries no checksum")
+			}
 			return // malformed payloads must error, and did
 		}
 		if len(raw) != int(h.RawLen) {
 			t.Fatalf("DecodeFrame returned %d bytes, header says %d", len(raw), h.RawLen)
+		}
+		// A v2 decode that succeeded IS the checksum proof: recomputing
+		// must agree, whatever bytes the fuzzer built the frame from.
+		if h.Version >= Version2 && Checksum(raw) != h.Checksum {
+			t.Fatalf("v2 decode passed with crc %08x over header %08x", Checksum(raw), h.Checksum)
 		}
 	})
 }
@@ -80,26 +113,32 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			return
 		}
 		for _, c := range []Codec{Raw(), Deflate()} {
-			frame, hdr, err := EncodeFrame(c, 3, off, payload, nil)
-			if err != nil {
-				t.Fatalf("%s: EncodeFrame: %v", c.Name(), err)
-			}
-			if len(frame) > HeaderSize+len(payload) {
-				t.Fatalf("%s: frame grew the payload: %d > %d", c.Name(), len(frame), HeaderSize+len(payload))
-			}
-			reparsed, err := ParseHeader(frame)
-			if err != nil {
-				t.Fatalf("%s: reparse own header: %v", c.Name(), err)
-			}
-			if reparsed != hdr {
-				t.Fatalf("%s: header round trip: %+v != %+v", c.Name(), reparsed, hdr)
-			}
-			raw, err := DecodeFrame(hdr, frame[HeaderSize:], nil)
-			if err != nil {
-				t.Fatalf("%s: DecodeFrame: %v", c.Name(), err)
-			}
-			if !bytes.Equal(raw, payload) {
-				t.Fatalf("%s: payload round trip mismatch", c.Name())
+			for _, ver := range []uint8{Version1, Version2} {
+				frame, hdr, err := EncodeFrameVersion(c, ver, 3, off, payload, nil)
+				if err != nil {
+					t.Fatalf("%s/v%d: EncodeFrame: %v", c.Name(), ver, err)
+				}
+				if len(frame) > HeaderSize+len(payload) {
+					t.Fatalf("%s/v%d: frame grew the payload: %d > %d", c.Name(), ver, len(frame), HeaderSize+len(payload))
+				}
+				reparsed, err := ParseHeader(frame)
+				if err != nil {
+					t.Fatalf("%s/v%d: reparse own header: %v", c.Name(), ver, err)
+				}
+				if reparsed != hdr {
+					t.Fatalf("%s/v%d: header round trip: %+v != %+v", c.Name(), ver, reparsed, hdr)
+				}
+				if ver >= Version2 && hdr.Checksum != Checksum(payload) {
+					t.Fatalf("%s/v%d: encoder stamped crc %08x, payload is %08x",
+						c.Name(), ver, hdr.Checksum, Checksum(payload))
+				}
+				raw, err := DecodeFrame(hdr, frame[HeaderSize:], nil)
+				if err != nil {
+					t.Fatalf("%s/v%d: DecodeFrame: %v", c.Name(), ver, err)
+				}
+				if !bytes.Equal(raw, payload) {
+					t.Fatalf("%s/v%d: payload round trip mismatch", c.Name(), ver)
+				}
 			}
 		}
 	})

@@ -50,6 +50,18 @@ type SalvageReport struct {
 	// container torn inside its very first frame, as opposed to a plain
 	// file that merely begins with the magic bytes.
 	FirstHeaderValid bool
+	// ChecksumVerified counts kept frames whose payload CRC32-C matched
+	// its v2 header; ChecksumSkipped counts kept frames that carried no
+	// checksum (v1 headers and zero-extent frames, which have no payload
+	// to verify).
+	ChecksumVerified int
+	ChecksumSkipped  int
+	// ChecksumFailures counts frames whose payload decoded to the
+	// declared length but failed its CRC32-C — proven bit rot, as opposed
+	// to a structural tear. The prefix rule stops the scan there, so any
+	// intact frames past the failure are given up and show in
+	// FramesDropped rather than vanishing silently.
+	ChecksumFailures int
 	// Reason says why the scan stopped before the end ("" when clean).
 	Reason string
 }
@@ -62,8 +74,12 @@ func (r SalvageReport) Format() string {
 	if r.Clean() {
 		return fmt.Sprintf("salvage: clean container, %d frames", r.FramesKept)
 	}
-	return fmt.Sprintf("salvage: kept %d frames (%d bytes), truncated %d bytes (~%d frames lost): %s",
-		r.FramesKept, r.IntactBytes, r.TruncatedBytes, r.FramesDropped, r.Reason)
+	s := fmt.Sprintf("salvage: kept %d frames (%d bytes), truncated %d bytes (~%d frames lost)",
+		r.FramesKept, r.IntactBytes, r.TruncatedBytes, r.FramesDropped)
+	if r.ChecksumFailures > 0 {
+		s += fmt.Sprintf(", %d checksum failures", r.ChecksumFailures)
+	}
+	return s + ": " + r.Reason
 }
 
 // maxResync bounds how much torn tail Salvage inspects when counting
@@ -85,57 +101,74 @@ const maxResync = 8 << 20
 // indexing a multi-gigabyte checkpoint costs one small read per frame.
 // It does not verify payload contents; Salvage does.
 func ScanPrefix(r io.ReaderAt, size int64) (frames []FrameInfo, intact int64, stopErr error) {
-	return scanPrefix(r, size, false)
+	frames, intact, _, _, stopErr = scanPrefix(r, size, false)
+	return frames, intact, stopErr
 }
 
-func scanPrefix(r io.ReaderAt, size int64, verify bool) (frames []FrameInfo, intact int64, stopErr error) {
+func scanPrefix(r io.ReaderAt, size int64, verify bool) (frames []FrameInfo, intact int64, verified, skipped int, stopErr error) {
 	hdr := make([]byte, HeaderSize)
 	var payload []byte
+	fail := func(off int64, err error) ([]FrameInfo, int64, int, int, error) {
+		return frames, off, verified, skipped, err
+	}
 	for off := int64(0); off < size; {
 		if size-off < HeaderSize {
-			return frames, off, fmt.Errorf("%w: torn header at %d (%d trailing bytes)",
-				ErrCorrupt, off, size-off)
+			return fail(off, fmt.Errorf("%w: torn header at %d (%d trailing bytes)",
+				ErrCorrupt, off, size-off))
 		}
 		if _, err := r.ReadAt(hdr, off); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				// The file is shorter than size claimed: a torn tail.
-				return frames, off, fmt.Errorf("%w: short header read at %d: %v", ErrCorrupt, off, err)
+				return fail(off, fmt.Errorf("%w: short header read at %d: %v", ErrCorrupt, off, err))
 			}
-			return frames, off, fmt.Errorf("codec: frame header at %d: %w", off, err)
+			return fail(off, fmt.Errorf("codec: frame header at %d: %w", off, err))
 		}
 		h, err := ParseHeader(hdr)
 		if err != nil {
-			return frames, off, fmt.Errorf("frame at %d: %w", off, err)
+			return fail(off, fmt.Errorf("frame at %d: %w", off, err))
 		}
 		next := off + HeaderSize + int64(h.EncLen)
 		if next > size {
-			return frames, off, fmt.Errorf("%w: frame at %d overruns container (%d > %d)",
-				ErrCorrupt, off, next, size)
+			return fail(off, fmt.Errorf("%w: frame at %d overruns container (%d > %d)",
+				ErrCorrupt, off, next, size))
 		}
 		if verify && h.RawLen > 0 {
 			// Recovery-path integrity check: the payload must decode to
-			// exactly RawLen bytes. Zero-extent frames (pads stamped over
-			// failed writes, extension markers) carry no decodable payload
-			// and are validated by their bounds alone.
+			// exactly RawLen bytes and, for v2 frames, match its CRC32-C.
+			// Zero-extent frames (pads stamped over failed writes,
+			// extension markers) carry no decodable payload and are
+			// validated by their bounds alone.
 			if int64(cap(payload)) < int64(h.EncLen) {
 				payload = make([]byte, h.EncLen)
 			}
 			payload = payload[:h.EncLen]
 			if _, err := r.ReadAt(payload, off+HeaderSize); err != nil && !errors.Is(err, io.EOF) {
-				return frames, off, fmt.Errorf("codec: frame payload at %d: %w", off, err)
+				return fail(off, fmt.Errorf("codec: frame payload at %d: %w", off, err))
 			}
 			if _, err := DecodeFrame(h, payload, nil); err != nil {
-				// Always classed as corruption, whatever the decoder said
-				// (flate's own errors wrap nothing): an undecodable payload
-				// behind a parseable header is the torn-tail shape, not a
-				// backend failure.
-				return frames, off, fmt.Errorf("%w: frame at %d: payload does not decode: %v", ErrCorrupt, off, err)
+				if errors.Is(err, ErrCorrupt) {
+					// Preserves ErrChecksum identity: a CRC mismatch must
+					// stay distinguishable from a structural tear.
+					return fail(off, fmt.Errorf("frame at %d: payload does not verify: %w", off, err))
+				}
+				// Otherwise classed as corruption, whatever the decoder
+				// said (flate's own errors wrap nothing): an undecodable
+				// payload behind a parseable header is the torn-tail
+				// shape, not a backend failure.
+				return fail(off, fmt.Errorf("%w: frame at %d: payload does not decode: %v", ErrCorrupt, off, err))
 			}
+			if h.Version >= Version2 {
+				verified++
+			} else {
+				skipped++
+			}
+		} else if verify {
+			skipped++
 		}
 		frames = append(frames, FrameInfo{Header: h, Pos: off})
 		off = next
 	}
-	return frames, size, nil
+	return frames, size, verified, skipped, nil
 }
 
 // Salvage recovers the longest intact frame prefix of a possibly-torn
@@ -145,15 +178,20 @@ func scanPrefix(r io.ReaderAt, size int64, verify bool) (frames []FrameInfo, int
 // never for a torn or garbage tail, which is the condition Salvage
 // exists to absorb.
 func Salvage(r io.ReaderAt, size int64) ([]FrameInfo, SalvageReport, error) {
-	frames, intact, stopErr := scanPrefix(r, size, true)
+	frames, intact, verified, skipped, stopErr := scanPrefix(r, size, true)
 	rep := SalvageReport{
-		FramesKept:     len(frames),
-		IntactBytes:    intact,
-		TruncatedBytes: size - intact,
+		FramesKept:       len(frames),
+		IntactBytes:      intact,
+		TruncatedBytes:   size - intact,
+		ChecksumVerified: verified,
+		ChecksumSkipped:  skipped,
 	}
 	if stopErr != nil {
 		if !errors.Is(stopErr, ErrCorrupt) && !errors.Is(stopErr, ErrNotFramed) {
 			return nil, SalvageReport{}, stopErr
+		}
+		if errors.Is(stopErr, ErrChecksum) {
+			rep.ChecksumFailures++
 		}
 		rep.Reason = stopErr.Error()
 	}

@@ -41,6 +41,19 @@ type FileReport struct {
 	// CorruptFrames counts frames whose payload failed verification
 	// behind a parseable header (bit rot, torn reserved ranges).
 	CorruptFrames int
+	// ChecksumFailures counts the subset of CorruptFrames whose payload
+	// decoded to the declared length but failed its v2 CRC32-C — proven
+	// bit rot that v1's decode-based verification would have passed.
+	ChecksumFailures int
+	// ChecksumVerified and ChecksumSkipped split the verified frames into
+	// those proven by a v2 payload checksum and those that carried none
+	// (v1 frames and zero-extent markers).
+	ChecksumVerified int
+	ChecksumSkipped  int
+	// FramesDiscarded counts frames that verified intact but sat past the
+	// repair truncation point: the prefix rule gave them up because an
+	// earlier frame was corrupt. Nonzero only when Repaired.
+	FramesDiscarded int
 	// TornBytes is the container tail past the longest parseable frame
 	// chain (a crash mid-append never repaired).
 	TornBytes int64
@@ -58,13 +71,17 @@ func (f FileReport) Damaged() bool {
 
 // Report aggregates one scrub pass.
 type Report struct {
-	Containers     int
-	Frames         int64 // frames verified intact
-	Bytes          int64 // payload bytes verified
-	CorruptFrames  int64
-	TornContainers int
-	TornBytes      int64
-	Repaired       int
+	Containers       int
+	Frames           int64 // frames verified intact
+	Bytes            int64 // payload bytes verified
+	CorruptFrames    int64
+	ChecksumFailures int64 // corrupt frames proven by a v2 CRC mismatch
+	ChecksumVerified int64 // verified frames proven by their v2 checksum
+	ChecksumSkipped  int64 // verified frames that carried no checksum (v1, markers)
+	FramesDiscarded  int64 // intact frames given up by prefix repairs
+	TornContainers   int
+	TornBytes        int64
+	Repaired         int
 	// Problems lists the containers with defects (capped at 100).
 	Problems []FileReport
 }
@@ -80,6 +97,10 @@ func (r *Report) Add(f FileReport) {
 	r.Frames += int64(f.Frames)
 	r.Bytes += f.Bytes
 	r.CorruptFrames += int64(f.CorruptFrames)
+	r.ChecksumFailures += int64(f.ChecksumFailures)
+	r.ChecksumVerified += int64(f.ChecksumVerified)
+	r.ChecksumSkipped += int64(f.ChecksumSkipped)
+	r.FramesDiscarded += int64(f.FramesDiscarded)
 	if f.TornBytes > 0 {
 		r.TornContainers++
 		r.TornBytes += f.TornBytes
@@ -95,20 +116,24 @@ func (r *Report) Add(f FileReport) {
 // Format renders the report as a short multi-line summary.
 func (r *Report) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "scrub: containers=%d frames-verified=%d bytes=%d corrupt-frames=%d torn=%d (%d bytes) repaired=%d\n",
-		r.Containers, r.Frames, r.Bytes, r.CorruptFrames, r.TornContainers, r.TornBytes, r.Repaired)
+	fmt.Fprintf(&b, "scrub: containers=%d frames-verified=%d bytes=%d corrupt-frames=%d checksum-failures=%d checksum-verified=%d checksum-skipped=%d torn=%d (%d bytes) repaired=%d discarded-frames=%d\n",
+		r.Containers, r.Frames, r.Bytes, r.CorruptFrames, r.ChecksumFailures,
+		r.ChecksumVerified, r.ChecksumSkipped, r.TornContainers, r.TornBytes,
+		r.Repaired, r.FramesDiscarded)
 	for _, f := range r.Problems {
-		fmt.Fprintf(&b, "  %s: frames=%d corrupt=%d torn-bytes=%d repaired=%v%s\n",
-			f.Path, f.Frames, f.CorruptFrames, f.TornBytes, f.Repaired,
+		fmt.Fprintf(&b, "  %s: frames=%d corrupt=%d checksum-failures=%d torn-bytes=%d repaired=%v discarded=%d%s\n",
+			f.Path, f.Frames, f.CorruptFrames, f.ChecksumFailures, f.TornBytes, f.Repaired, f.FramesDiscarded,
 			map[bool]string{true: " err=" + f.Err, false: ""}[f.Err != ""])
 	}
 	return b.String()
 }
 
 // VerifyFrame reads one frame's payload through r and proves it decodes
-// to exactly the length its header declares. The returned error wraps
-// codec.ErrCorrupt for payload damage and is the backend's own error
-// when the bytes could not be read at all.
+// to exactly the length its header declares — and, for v2 frames, that
+// the decoded bytes match the header's CRC32-C. The returned error wraps
+// codec.ErrCorrupt for payload damage (codec.ErrChecksum for the CRC
+// case specifically) and is the backend's own error when the bytes could
+// not be read at all.
 func VerifyFrame(r io.ReaderAt, fr codec.FrameInfo) error {
 	if fr.Header.RawLen == 0 {
 		return nil // pads and markers carry no decodable payload
@@ -173,12 +198,19 @@ func (p *pool) close() {
 // feed the repair rule — truncating on a transient read error would
 // turn a flaky backend into permanent data loss.
 type VerifyResult struct {
-	Verified     int   // frames whose payload verified intact
-	Bytes        int64 // payload bytes covered by the verified frames
-	Corrupt      int   // frames proven corrupt (undecodable payload)
-	FirstCorrupt int64 // container offset of the first corrupt frame, -1 when none
-	Failed       int   // frames unverifiable because the backend failed to read
-	Err          string
+	Verified         int   // frames whose payload verified intact
+	Bytes            int64 // payload bytes covered by the verified frames
+	Corrupt          int   // frames proven corrupt (undecodable payload or CRC mismatch)
+	ChecksumFailed   int   // corrupt frames proven by a v2 CRC mismatch specifically
+	ChecksumVerified int   // intact frames proven by their v2 payload checksum
+	ChecksumSkipped  int   // intact frames carrying no checksum (v1, zero-extent)
+	FirstCorrupt     int64 // container offset of the first corrupt frame, -1 when none
+	Failed           int   // frames unverifiable because the backend failed to read
+	Err              string
+	// Intact records the per-frame verdict, indexed like the input slice:
+	// true iff that frame verified. Callers applying the prefix repair
+	// rule use it to count intact frames the truncation gives up.
+	Intact []bool
 }
 
 // VerifyFrames fans frame verification out through submit. Verification
@@ -189,12 +221,14 @@ func VerifyFrames(r io.ReaderAt, frames []codec.FrameInfo, submit Submit) Verify
 		submit = func(j func()) { j() }
 	}
 	var ok, badPos, okBytes, failed atomic.Int64
+	var sumOK, sumSkip, sumBad atomic.Int64
 	badPos.Store(-1)
 	var errMu sync.Mutex
 	var firstErr string
 	var wg sync.WaitGroup
+	intact := make([]bool, len(frames))
 	for i := range frames {
-		fr := frames[i]
+		i, fr := i, frames[i]
 		wg.Add(1)
 		submit(func() {
 			defer wg.Done()
@@ -202,6 +236,15 @@ func VerifyFrames(r io.ReaderAt, frames []codec.FrameInfo, submit Submit) Verify
 			case err == nil:
 				ok.Add(1)
 				okBytes.Add(int64(fr.Header.RawLen))
+				intact[i] = true
+				if fr.Header.RawLen > 0 && fr.Header.Version >= codec.Version2 {
+					sumOK.Add(1)
+				} else {
+					sumSkip.Add(1)
+				}
+			case errors.Is(err, codec.ErrChecksum):
+				sumBad.Add(1)
+				fallthrough
 			case errors.Is(err, codec.ErrCorrupt):
 				for {
 					cur := badPos.Load()
@@ -225,11 +268,15 @@ func VerifyFrames(r io.ReaderAt, frames []codec.FrameInfo, submit Submit) Verify
 	}
 	wg.Wait()
 	res := VerifyResult{
-		Verified:     int(ok.Load()),
-		Bytes:        okBytes.Load(),
-		FirstCorrupt: badPos.Load(),
-		Failed:       int(failed.Load()),
-		Err:          firstErr,
+		Verified:         int(ok.Load()),
+		Bytes:            okBytes.Load(),
+		ChecksumFailed:   int(sumBad.Load()),
+		ChecksumVerified: int(sumOK.Load()),
+		ChecksumSkipped:  int(sumSkip.Load()),
+		FirstCorrupt:     badPos.Load(),
+		Failed:           int(failed.Load()),
+		Err:              firstErr,
+		Intact:           intact,
 	}
 	res.Corrupt = len(frames) - res.Verified - res.Failed
 	return res
@@ -273,6 +320,9 @@ func ScrubFile(fsys vfs.FS, path string, size int64, o ScrubOptions, submit Subm
 	fr.Frames = res.Verified
 	fr.Bytes = res.Bytes
 	fr.CorruptFrames = res.Corrupt
+	fr.ChecksumFailures = res.ChecksumFailed
+	fr.ChecksumVerified = res.ChecksumVerified
+	fr.ChecksumSkipped = res.ChecksumSkipped
 	if res.Failed > 0 {
 		// Backend failures make the file unverifiable; never repair on
 		// them (the bytes may be fine and the backend transiently sick).
@@ -293,5 +343,12 @@ func ScrubFile(fsys vfs.FS, path string, size int64, o ScrubOptions, submit Subm
 		return fr
 	}
 	fr.Repaired = true
+	// Prefix repair on a mid-container defect gives up every intact frame
+	// behind it; count them so the loss is visible, never silent.
+	for i, info := range frames {
+		if info.Pos >= good && res.Intact[i] {
+			fr.FramesDiscarded++
+		}
+	}
 	return fr
 }

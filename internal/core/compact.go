@@ -229,6 +229,8 @@ func (fs *FS) compactEntry(e *fileEntry, force bool) error {
 	fs.stats.containersCompacted.Add(1)
 	fs.stats.compactFramesDropped.Add(int64(st.FramesDropped))
 	fs.stats.compactBytesReclaimed.Add(total - st.BytesOut)
+	fs.stats.checksumVerified.Add(int64(st.ChecksumVerified))
+	fs.stats.checksumSkipped.Add(int64(st.FramesUpgraded))
 	return nil
 }
 
@@ -297,6 +299,9 @@ func (fs *FS) Scrub(o ScrubOptions) (*compact.Report, error) {
 	fs.stats.framesVerified.Add(rep.Frames)
 	fs.stats.scrubCorruptions.Add(rep.CorruptFrames)
 	fs.stats.scrubRepaired.Add(int64(rep.Repaired))
+	fs.stats.checksumVerified.Add(rep.ChecksumVerified)
+	fs.stats.checksumSkipped.Add(rep.ChecksumSkipped)
+	fs.stats.checksumFailed.Add(rep.ChecksumFailures)
 	return rep, err
 }
 
@@ -336,6 +341,9 @@ func (fs *FS) scrubOne(path string, size int64, o ScrubOptions) compact.FileRepo
 		fr.Frames = res.Verified
 		fr.Bytes = res.Bytes
 		fr.CorruptFrames = res.Corrupt
+		fr.ChecksumFailures = res.ChecksumFailed
+		fr.ChecksumVerified = res.ChecksumVerified
+		fr.ChecksumSkipped = res.ChecksumSkipped
 		if res.Failed > 0 {
 			fr.Err = res.Err // unverifiable, not corrupt
 		}

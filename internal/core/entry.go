@@ -616,6 +616,7 @@ func (e *fileEntry) decodeFrame(fr codec.FrameInfo) ([]byte, error) {
 		return nil, fmt.Errorf("core: frame payload at %d: %w", fr.Pos, err)
 	}
 	raw, err := codec.DecodeFrame(fr.Header, enc, nil)
+	e.fs.stats.checksumResult(fr.Header.Version, err)
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", e.pathName(), err)
 	}
@@ -762,7 +763,7 @@ func (e *fileEntry) extendContainer(size int64) error {
 	}
 	pos := e.appendOff
 	e.appendOff += codec.HeaderSize
-	hdr := codec.Header{Codec: codec.RawID, Seq: e.frameSeq, Off: size, RawLen: 0, EncLen: 0}
+	hdr := codec.Header{Version: uint8(e.fs.opts.FrameVersion), Codec: codec.RawID, Seq: e.frameSeq, Off: size, RawLen: 0, EncLen: 0}
 	e.frameSeq++
 	e.mu.Unlock()
 	codec.PutHeader(frame, hdr)

@@ -211,7 +211,7 @@ func (fs *FS) writeFramed(e *fileEntry, c *chunk) error {
 	bp := fs.encBufs.Get().(*[]byte)
 	defer fs.encBufs.Put(bp)
 	fill := c.fill.Load()
-	frame, hdr, err := codec.EncodeFrame(fs.opts.Codec, c.seq, c.start, c.buf[:fill], (*bp)[:0])
+	frame, hdr, err := codec.EncodeFrameVersion(fs.opts.Codec, uint8(fs.opts.FrameVersion), c.seq, c.start, c.buf[:fill], (*bp)[:0])
 	if cap(frame) > cap(*bp) {
 		*bp = frame // keep the grown buffer for the next encode
 	}
@@ -240,7 +240,8 @@ func (fs *FS) writeFramed(e *fileEntry, c *chunk) error {
 		// anyway.
 		pad := make([]byte, codec.HeaderSize)
 		codec.PutHeader(pad, codec.Header{
-			Codec: codec.RawID, Seq: c.seq, Off: c.start,
+			Version: uint8(fs.opts.FrameVersion),
+			Codec:   codec.RawID, Seq: c.seq, Off: c.start,
 			RawLen: 0, EncLen: uint32(len(frame) - codec.HeaderSize),
 		})
 		if _, perr := e.backendFile.WriteAt(pad, pos); perr == nil && len(frame) > codec.HeaderSize {
@@ -517,6 +518,9 @@ func (fs *FS) indexEntry(entry *fileEntry, key string, flag vfs.OpenFlag, size i
 		fs.stats.containersSalvaged.Add(1)
 		fs.stats.salvageFramesDropped.Add(int64(probe.report.FramesDropped))
 		fs.stats.salvageBytesTruncated.Add(probe.report.TruncatedBytes)
+		fs.stats.checksumVerified.Add(int64(probe.report.ChecksumVerified))
+		fs.stats.checksumSkipped.Add(int64(probe.report.ChecksumSkipped))
+		fs.stats.checksumFailed.Add(int64(probe.report.ChecksumFailures))
 		if fs.opts.RepairOnOpen {
 			entry.pendingRepair = probe.report.IntactBytes
 		}

@@ -38,13 +38,19 @@ func (h *fuzzHandle) Truncate(size int64) error                { panic("probe mu
 func (h *fuzzHandle) Sync() error                              { panic("probe must not sync") }
 func (h *fuzzHandle) Close() error                             { return nil }
 
-// containerBytes builds a valid container from (off, payload) extents.
+// containerBytes builds a valid container from (off, payload) extents at
+// the current frame version; containerBytesV pins the version per frame.
 func containerBytes(t testing.TB, c codec.Codec, extents ...[]byte) []byte {
+	t.Helper()
+	return containerBytesV(t, c, func(int) uint8 { return codec.Version }, extents...)
+}
+
+func containerBytesV(t testing.TB, c codec.Codec, verAt func(i int) uint8, extents ...[]byte) []byte {
 	t.Helper()
 	var out []byte
 	var off int64
 	for i, p := range extents {
-		frame, _, err := codec.EncodeFrame(c, uint64(i), off, p, nil)
+		frame, _, err := codec.EncodeFrameVersion(c, verAt(i), uint64(i), off, p, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,6 +85,24 @@ func FuzzProbeContainer(f *testing.F) {
 	liar[28] = 0xFF
 	liar[29] = 0xFF
 	f.Add(liar)
+	// Version-mix and checksum-mutation shapes: a pure v1 container, a
+	// v1-then-v2 history (legacy file appended by a new writer), a v2
+	// container with a rotted payload byte, and a v3 frame mid-chain.
+	v1 := func(int) uint8 { return codec.Version1 }
+	mix := func(i int) uint8 {
+		if i < 1 {
+			return codec.Version1
+		}
+		return codec.Version2
+	}
+	f.Add(containerBytesV(f, codec.Raw(), v1, []byte("old"), []byte("format"), []byte("file")))
+	f.Add(containerBytesV(f, codec.Deflate(), mix, bytes.Repeat([]byte("v1 half "), 20), bytes.Repeat([]byte("v2 half "), 20)))
+	rotted := bytes.Clone(containerBytes(f, codec.Raw(), []byte("checksummed"), []byte("payload")))
+	rotted[codec.HeaderSize+2] ^= 0x01
+	f.Add(rotted)
+	futureMid := bytes.Clone(containerBytes(f, codec.Raw(), []byte("good"), []byte("from the future")))
+	futureMid[codec.HeaderSize+4+4] = 3 // second frame's version byte
+	f.Add(futureMid)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h := &fuzzHandle{data: data}
@@ -117,6 +141,9 @@ func FuzzProbeContainer(f *testing.F) {
 			}
 			if fr.Header.Off < 0 || fr.Header.Off > codec.MaxLogicalOff {
 				t.Fatalf("accepted frame with implausible offset %d", fr.Header.Off)
+			}
+			if v := fr.Header.Version; v != codec.Version1 && v != codec.Version2 {
+				t.Fatalf("accepted frame with version %d", v)
 			}
 			if fr.Header.Seq >= p.nextSeq {
 				t.Fatalf("frame seq %d >= nextSeq %d", fr.Header.Seq, p.nextSeq)

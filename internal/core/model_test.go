@@ -285,6 +285,101 @@ func (h *modelHarness) open(name string) {
 	}
 }
 
+// scrubAfterCorruption plants a corrupted sacrificial v2 container on the
+// backend (a name outside the model's), scrubs the mount, and asserts the
+// rot surfaces as a counted checksum failure — without disturbing the
+// read semantics of any model file, which verify() proves right after.
+func (h *modelHarness) scrubAfterCorruption(back vfs.FS) {
+	h.t.Helper()
+	box, _ := rawFrameContainer(h.t, codec.Version2, 3, 1024)
+	frames, _, _ := codec.ScanPrefix(bytes.NewReader(box), int64(len(box)))
+	box[frames[1].Pos+codec.HeaderSize+13] ^= 0x01
+	if err := vfs.WriteFile(back, "victim.crfc", box); err != nil {
+		h.t.Fatal(err)
+	}
+	rep, err := h.fs.Scrub(ScrubOptions{})
+	if err != nil {
+		h.t.Fatalf("scrub after corruption: %v", err)
+	}
+	if rep.ChecksumFailures < 1 {
+		h.t.Fatalf("planted rot not counted as a checksum failure: %+v", rep)
+	}
+	st := h.fs.Stats()
+	if st.ChecksumFailed < 1 {
+		h.t.Fatalf("scrub checksum failure missing from Stats: %+v", st.Integrity())
+	}
+	if err := back.Remove("victim.crfc"); err != nil {
+		h.t.Fatal(err)
+	}
+	h.verify("scrub-after-corruption")
+}
+
+// TestModelMixedVersion pre-seeds the backend with legacy v1 containers,
+// then drives the standard op sequence over them through a v2-writing
+// mount: every overwrite and append mixes v2 frames into a v1 chain, and
+// the differential contract must hold at every step, across a planted
+// mid-sequence corruption scrub, and across a remount that reindexes the
+// mixed containers from scratch.
+func TestModelMixedVersion(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		back := memfs.New()
+		model := newModelFS()
+		for i, name := range modelNames {
+			var box, content []byte
+			for j := 0; j < 3+i; j++ {
+				part := compressiblePayload(1200, seed*100+int64(i*8+j))
+				var err error
+				box, _, err = codec.EncodeFrameVersion(codec.Raw(), codec.Version1,
+					uint64(j), int64(j)*1200, part, box)
+				if err != nil {
+					t.Fatal(err)
+				}
+				content = append(content, part...)
+			}
+			if err := vfs.WriteFile(back, name, box); err != nil {
+				t.Fatal(err)
+			}
+			model.files[name] = content
+		}
+		fs := mount(t, back, Options{
+			ChunkSize: 512, BufferPoolSize: 16 << 10, IOThreads: 3,
+			Codec: codec.Deflate(), ReadAhead: 4,
+		})
+		h := &modelHarness{
+			t: t, fs: fs, model: model,
+			handles: make(map[string]vfs.File),
+			pending: make(map[string][][2]int64),
+			framed:  true,
+			rng:     rand.New(rand.NewSource(seed)),
+		}
+		h.verify(fmt.Sprintf("seed %d pre-seeded v1 state", seed))
+		for i := 0; i < 250; i++ {
+			desc := h.step()
+			h.verify(fmt.Sprintf("mixed seed %d op %d %s", seed, i, desc))
+			if i == 120 {
+				h.scrubAfterCorruption(back)
+			}
+		}
+		for name, f := range h.handles {
+			if f != nil {
+				if err := f.Close(); err != nil {
+					t.Fatalf("final close %s: %v", name, err)
+				}
+			}
+		}
+		fs2 := mount(t, back, Options{
+			ChunkSize: 512, BufferPoolSize: 16 << 10, IOThreads: 3,
+			Codec: codec.Deflate(), ReadAhead: 4,
+		})
+		h2 := &modelHarness{
+			t: t, fs: fs2, model: h.model,
+			handles: make(map[string]vfs.File),
+			pending: make(map[string][][2]int64), framed: true,
+		}
+		h2.verify(fmt.Sprintf("mixed seed %d remount", seed))
+	}
+}
+
 // TestModelDifferential runs the random op sequences over every mount
 // flavour the read and write pipelines distinguish: raw and deflate, with
 // and without read-ahead. Run under -race in CI.

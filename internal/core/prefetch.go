@@ -422,6 +422,7 @@ func (fs *FS) runPrefetch(j prefetchJob) {
 			return
 		}
 		raw, err := codec.DecodeFrame(j.fr.Header, enc, nil)
+		fs.stats.checksumResult(j.fr.Header.Version, err)
 		if err != nil {
 			pf.drop(j.key)
 			return

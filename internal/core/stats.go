@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 
+	"crfs/internal/codec"
 	"crfs/internal/metrics"
 )
 
@@ -45,6 +47,24 @@ type statCounters struct {
 	framesVerified        atomic.Int64
 	scrubCorruptions      atomic.Int64
 	scrubRepaired         atomic.Int64
+
+	checksumVerified atomic.Int64
+	checksumFailed   atomic.Int64
+	checksumSkipped  atomic.Int64
+}
+
+// checksumResult classifies one frame decode for the integrity counters:
+// a v2 frame whose payload matched its CRC32-C, a failure, or a v1 frame
+// that carried no checksum to check.
+func (c *statCounters) checksumResult(version uint8, err error) {
+	switch {
+	case err == nil && version >= codec.Version2:
+		c.checksumVerified.Add(1)
+	case err == nil:
+		c.checksumSkipped.Add(1)
+	case errors.Is(err, codec.ErrChecksum):
+		c.checksumFailed.Add(1)
+	}
 }
 
 // Stats is a point-in-time snapshot of a mount's activity. It quantifies
@@ -141,6 +161,17 @@ type Stats struct {
 	// ScrubRepaired counts containers the scrub truncated to their
 	// longest verified frame prefix (ScrubOptions.Repair).
 	ScrubRepaired int64
+	// ChecksumVerified counts frame payloads whose v2 CRC32-C matched at
+	// decode time, on any decode path: reads, prefetch, open-time
+	// salvage, scrub, and compaction.
+	ChecksumVerified int64
+	// ChecksumFailed counts payloads that decoded to the declared length
+	// but failed their v2 checksum — proven bit rot surfaced as
+	// ErrChecksum rather than served.
+	ChecksumFailed int64
+	// ChecksumSkipped counts decoded payloads that carried no checksum
+	// (legacy v1 frames); they are decode-verified only.
+	ChecksumSkipped int64
 }
 
 // AggregationRatio returns application writes per backend write, the
@@ -220,6 +251,16 @@ func (s Stats) Scrub() metrics.ScrubStats {
 	}
 }
 
+// Integrity returns the per-frame checksum activity as a
+// metrics.IntegrityStats summary.
+func (s Stats) Integrity() metrics.IntegrityStats {
+	return metrics.IntegrityStats{
+		Verified: s.ChecksumVerified,
+		Failed:   s.ChecksumFailed,
+		Skipped:  s.ChecksumSkipped,
+	}
+}
+
 // Stats returns a snapshot of the mount's counters.
 func (fs *FS) Stats() Stats {
 	return Stats{
@@ -257,5 +298,9 @@ func (fs *FS) Stats() Stats {
 		FramesVerified:        fs.stats.framesVerified.Load(),
 		ScrubCorruptions:      fs.stats.scrubCorruptions.Load(),
 		ScrubRepaired:         fs.stats.scrubRepaired.Load(),
+
+		ChecksumVerified: fs.stats.checksumVerified.Load(),
+		ChecksumFailed:   fs.stats.checksumFailed.Load(),
+		ChecksumSkipped:  fs.stats.checksumSkipped.Load(),
 	}
 }

@@ -28,6 +28,12 @@ import (
 //  4. A torn container never fails the whole file: every crash point
 //     remounts and reads without error, with salvage doing the work and
 //     RecoveryStats reflecting it.
+//  5. Checksums hold at every crash state: a power cut can only shorten
+//     the backend log, never flip landed bytes, so no frame a verify
+//     mount decodes — on the read path or under a full scrub — may fail
+//     its v2 payload checksum. A torn v2 frame must fail structurally
+//     (salvage truncates at the tear, counted as torn bytes), never
+//     decode to phantom data behind a CRC the writer did not stamp.
 //
 // The record mount runs with IOThreads = 1 so the backend log is the
 // flush order — the linear-history model crashfs replays. Concurrency
@@ -92,6 +98,12 @@ type HarnessResult struct {
 	// Compaction totals: rewrites by the record mount's policy and by
 	// the per-point compact-and-reread check.
 	RecordCompactions, PointCompactions int64
+	// Integrity totals across all verify mounts (reads plus the rule-5
+	// per-point scrub): v2 payloads whose checksum matched, payloads that
+	// carried no checksum (v1 frames, zero-extent markers), and failures.
+	// ChecksumFailed > 0 is always also a violation — crash states carry
+	// no bit rot, only tears.
+	ChecksumVerified, ChecksumSkipped, ChecksumFailed int64
 }
 
 // ack is one durability acknowledgment: after step Step returned, every
@@ -301,6 +313,7 @@ func verifyPoint(crash *FS, cfg HarnessConfig, p Point, snaps []map[string][]byt
 				fmt.Sprintf("point{mut=%d,bytes=%d}: %s", p.Mut, p.Bytes, fmt.Sprintf(format, args...)))
 		}
 	}
+	framed := cfg.Codec != nil && cfg.Codec.ID() != codec.RawID
 	last := len(snaps) - 1
 	for name := range snaps[last] {
 		ackStep := -1
@@ -320,7 +333,6 @@ func verifyPoint(crash *FS, cfg HarnessConfig, p Point, snaps []map[string][]byt
 			}
 			continue
 		}
-		framed := cfg.Codec != nil && cfg.Codec.ID() != codec.RawID
 		if framed && ackStep < 0 {
 			// A cut inside the very first frame header of a brand-new
 			// container leaves < HeaderSize bytes that cannot be
@@ -377,7 +389,29 @@ func verifyPoint(crash *FS, cfg HarnessConfig, p Point, snaps []map[string][]byt
 			}
 		}
 	}
+	if framed {
+		// Rule 5: scrub the whole crash state, re-verifying every frame
+		// the contract reads may not have touched (dead frames, files with
+		// nothing acknowledged). Tears are expected debris — salvage has
+		// already bounded them — but a corrupt or checksum-failing frame
+		// cannot come from a cut: the log only ever loses its tail.
+		srep, serr := vfs2.Scrub(core.ScrubOptions{})
+		if serr != nil {
+			return serr
+		}
+		if srep.CorruptFrames > 0 || srep.ChecksumFailures > 0 {
+			violate("crash-state scrub found %d corrupt frames (%d checksum failures); a cut can only tear, not rot",
+				srep.CorruptFrames, srep.ChecksumFailures)
+		}
+	}
 	st := vfs2.Stats()
+	if st.ChecksumFailed > 0 {
+		violate("crash state failed %d payload checksums; torn v2 frames must fail structurally, not decode to phantom data",
+			st.ChecksumFailed)
+	}
+	res.ChecksumVerified += st.ChecksumVerified
+	res.ChecksumSkipped += st.ChecksumSkipped
+	res.ChecksumFailed += st.ChecksumFailed
 	res.Salvaged += st.ContainersSalvaged
 	res.Repaired += st.ContainersRepaired
 	res.FramesDropped += st.SalvageFramesDropped

@@ -27,6 +27,11 @@ func runHarness(t *testing.T, cfg HarnessConfig) *HarnessResult {
 	for _, v := range res.Violations {
 		t.Errorf("durability violation: %s", v)
 	}
+	// Rule 5 holds for every configuration: crash states tear, they never
+	// rot, so no verify mount may ever count a checksum failure.
+	if res.ChecksumFailed != 0 {
+		t.Errorf("crash sweep counted %d checksum failures; cuts cannot flip landed bytes", res.ChecksumFailed)
+	}
 	return res
 }
 
@@ -37,12 +42,17 @@ func TestCrashPointsRaw(t *testing.T) {
 
 func TestCrashPointsDeflate(t *testing.T) {
 	res := runHarness(t, HarnessConfig{Codec: codec.Deflate(), Torn: true})
-	t.Logf("deflate: %d mutations, %d points, salvaged=%d truncated=%d bytes",
-		res.Mutations, res.Points, res.Salvaged, res.BytesTruncated)
+	t.Logf("deflate: %d mutations, %d points, salvaged=%d truncated=%d bytes, checksums verified=%d skipped=%d",
+		res.Mutations, res.Points, res.Salvaged, res.BytesTruncated, res.ChecksumVerified, res.ChecksumSkipped)
 	// Torn cuts inside frame writes must exercise salvage: the contract
 	// holds *because* torn containers are recovered, not refused.
 	if res.Salvaged == 0 {
 		t.Error("torn-cut sweep on a deflate mount never salvaged a container")
+	}
+	// The record mount writes v2 frames, so the verify mounts and the
+	// rule-5 scrubs must actually prove checksums, not just skip them.
+	if res.ChecksumVerified == 0 {
+		t.Error("crash sweep never verified a v2 payload checksum; rule 5 proved nothing")
 	}
 }
 

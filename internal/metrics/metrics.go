@@ -313,6 +313,25 @@ func (s ScrubStats) Format() string {
 		s.FramesVerified, s.Corruptions, s.Repaired)
 }
 
+// IntegrityStats summarizes the per-frame payload checksums of a real
+// CRFS mount: every decode path (reads, prefetch, salvage, scrub,
+// compaction) verifies the v2 header's CRC32-C over the uncompressed
+// payload, so a mismatch is proven bit rot rather than data served.
+// Skipped counts legacy v1 frames, which carry no checksum — a nonzero
+// value is the signal that a container population still awaits the
+// compaction-driven upgrade to v2.
+type IntegrityStats struct {
+	Verified int64 // frame payloads whose CRC32-C matched
+	Failed   int64 // payloads that decoded but failed their checksum
+	Skipped  int64 // v1 payloads decoded without a checksum to check
+}
+
+// Format renders the summary as a one-line report.
+func (i IntegrityStats) Format() string {
+	return fmt.Sprintf("integrity: checksum-verified=%d checksum-failed=%d checksum-skipped=%d",
+		i.Verified, i.Failed, i.Skipped)
+}
+
 // HitRate returns the fraction of cache-consulting base reads served
 // from prefetched data. 0 means read-ahead never served a byte.
 func (p PrefetchStats) HitRate() float64 {
