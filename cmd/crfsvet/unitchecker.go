@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"crfs/internal/analysis"
+	"crfs/internal/analysis/suite"
+)
+
+// vetConfig is the unit-analysis configuration cmd/go writes for vet
+// tools (the x/tools unitchecker protocol): one type-checkable unit plus
+// export-data locations for everything it imports.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet unit described by a .cfg file. Facts are not
+// used by this suite, so the vetx output is written empty — but it must
+// be written, or cmd/go treats the run as failed.
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crfsvet:", err)
+		return exitError
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "crfsvet: parsing %s: %v\n", cfgPath, err)
+		return exitError
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "crfsvet:", err)
+			return exitError
+		}
+	}
+	if cfg.VetxOnly {
+		return exitClean
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return exitClean
+			}
+			fmt.Fprintln(os.Stderr, "crfsvet:", err)
+			return exitError
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return exitClean
+		}
+		fmt.Fprintln(os.Stderr, "crfsvet:", err)
+		return exitError
+	}
+
+	pkg := &analysis.Package{
+		Path: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Types: tpkg, Info: info,
+	}
+	res, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, suite.All)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crfsvet:", err)
+		return exitError
+	}
+	findings := res.Findings()
+	for _, d := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if n := len(res.Suppressed()); n > 0 {
+		fmt.Fprintf(os.Stderr, "crfsvet: %s: %d waived (//crfsvet:ignore)\n", cfg.ImportPath, n)
+	}
+	if len(findings) > 0 {
+		return exitFindings
+	}
+	return exitClean
+}

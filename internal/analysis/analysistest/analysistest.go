@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring the
+// x/tools package of the same name on the stdlib-only framework.
+//
+// A fixture lives in testdata/src/<name>/ next to the analyzer's test
+// and is a complete package (it may import the module's real packages
+// and the standard library). Expectations are written on the line they
+// anchor to:
+//
+//	e.mu.Lock() // want `acquires fileEntry.mu`
+//
+// Each back-quoted or double-quoted string after `want` is a regexp that
+// must match exactly one unsuppressed diagnostic reported on that line;
+// unmatched diagnostics and unmet expectations both fail the test.
+// Suppressed (//crfsvet:ignore'd) diagnostics never match a want — they
+// are returned in Result for explicit assertions.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"crfs/internal/analysis"
+)
+
+// Result reports what one fixture run produced beyond the want checks.
+type Result struct {
+	// Findings are the unsuppressed diagnostics.
+	Findings []analysis.Diagnostic
+	// Suppressed are the diagnostics waived by //crfsvet:ignore.
+	Suppressed []analysis.Diagnostic
+}
+
+// Run analyzes testdata/src/<pkg> for each named fixture package with
+// the single analyzer a and applies the want checks. It returns the
+// merged result across fixtures.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) *Result {
+	t.Helper()
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	res := &Result{}
+	for _, name := range pkgs {
+		dir := filepath.Join(testdata, "src", name)
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("analysistest: loading %s: %v", dir, err)
+		}
+		r, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, dir, err)
+		}
+		checkWants(t, pkg, r.Findings())
+		res.Findings = append(res.Findings, r.Findings()...)
+		res.Suppressed = append(res.Suppressed, r.Suppressed()...)
+	}
+	return res
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("// want((?: +(?:`[^`]*`|\"[^\"]*\"))+)\\s*$")
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Errorf("%s: malformed want comment: %s", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+					pat := arg[1 : len(arg)-1]
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %v", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %v", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// FindingsByLine formats findings compactly for failure messages.
+func FindingsByLine(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %v\n", d)
+	}
+	return b.String()
+}

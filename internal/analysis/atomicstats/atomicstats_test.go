@@ -1,0 +1,11 @@
+package atomicstats
+
+import (
+	"testing"
+
+	"crfs/internal/analysis/analysistest"
+)
+
+func TestAtomicStats(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

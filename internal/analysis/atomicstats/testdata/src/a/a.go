@@ -1,0 +1,70 @@
+// Package a exercises the atomicstats analyzer: mixed counter structs
+// and legacy call-style atomics with plain accesses.
+package a
+
+import "sync/atomic"
+
+// statCounters mirrors the real core counter struct; the plain field is
+// the seeded bug.
+type statCounters struct {
+	writes  atomic.Int64
+	reads   atomic.Int64
+	flushes int64 // want `plain int64 counter flushes in atomic counter struct statCounters`
+	label   string
+}
+
+// Stats is a plain point-in-time snapshot: no atomic fields, no rule.
+type Stats struct {
+	Writes int64
+	Reads  int64
+}
+
+// tallies holds nothing but counters, so it qualifies structurally even
+// without a counter-ish name.
+type tallies struct {
+	hits   atomic.Int64
+	misses int64 // want `plain int64 counter misses in atomic counter struct tallies`
+}
+
+// chunk mirrors core's buffer-pool chunk: an atomic refcount next to
+// mutex-guarded plain fields. Neither counter-named nor counters-only,
+// so rule 1 stays out of its way.
+type chunk struct {
+	buf  []byte
+	refs atomic.Int32
+	seq  uint64 // guarded by the owner's mutex; clean
+	done bool   // guarded by the owner's mutex; clean
+}
+
+func snapshot(c *statCounters) Stats {
+	return Stats{Writes: c.writes.Load(), Reads: c.reads.Load()}
+}
+
+// legacyStats uses call-style atomics on plain fields.
+type legacyStats struct {
+	n     int64
+	other int64
+	name  string
+}
+
+func bump(l *legacyStats) {
+	atomic.AddInt64(&l.n, 1)
+}
+
+func loadRace(l *legacyStats) int64 {
+	return l.n // want `plain access to n, elsewhere accessed via sync/atomic`
+}
+
+func storeRace(l *legacyStats) {
+	l.n = 0 // want `plain access to n, elsewhere accessed via sync/atomic`
+}
+
+func loadOK(l *legacyStats) int64 {
+	return atomic.LoadInt64(&l.n)
+}
+
+// other is never touched atomically, so plain access is fine.
+func plainOK(l *legacyStats) int64 {
+	l.other++
+	return l.other
+}

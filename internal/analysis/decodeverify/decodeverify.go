@@ -1,0 +1,128 @@
+// Package decodeverify guards the frame-format-v2 end-to-end integrity
+// contract: every byte that leaves a container passes through a
+// checksum-verifying decode. The verifying entrypoints — the
+// codec.DecodeFrame / ScanPrefix / Salvage / CompactContainer family —
+// all verify v2 payload checksums internally; any read path assembled
+// from lower-level pieces silently re-opens the bypass that frame
+// format v2 closed.
+//
+// Outside internal/codec (and its tests), the analyzer therefore
+// forbids:
+//
+//  1. calling the raw Codec.Decode / Codec.Encode interface methods —
+//     payload transformation without header-declared length and
+//     checksum verification;
+//  2. importing compress/flate or compress/zlib directly — a hand-rolled
+//     inflate path cannot verify anything;
+//  3. calling codec.ParseHeader — header parsing that precedes a
+//     hand-rolled payload decode. (codec.Sniff and codec.Checksum stay
+//     allowed: magic probing and checksum creation bypass nothing.)
+//
+// Test files are exempt — tests build corrupt fixtures from the
+// primitives on purpose; the contract protects production read paths.
+package decodeverify
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"crfs/internal/analysis"
+)
+
+// Analyzer is the decodeverify check.
+var Analyzer = &analysis.Analyzer{
+	Name:          "decodeverify",
+	Doc:           "frame decode outside internal/codec must use the verifying DecodeFrame/ScanPrefix/Salvage entrypoints",
+	SkipTestFiles: true,
+	Run:           run,
+}
+
+// exemptSuffix marks the one package allowed to touch the primitives.
+const exemptSuffix = "internal/codec"
+
+// lowLevel names the codec package-level functions that sit below the
+// verification boundary.
+var lowLevel = map[string]string{
+	"ParseHeader": "parse-then-hand-decode bypasses payload verification; use DecodeFrame/ScanPrefix/Salvage",
+}
+
+// forbiddenImports are decompression packages whose direct use outside
+// the codec boundary means a parallel, unverified decode path.
+var forbiddenImports = map[string]bool{
+	"compress/flate": true,
+	"compress/zlib":  true,
+	"compress/gzip":  true,
+}
+
+func run(pass *analysis.Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), exemptSuffix) || strings.HasSuffix(pass.Pkg.Path(), exemptSuffix+"_test") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err == nil && forbiddenImports[path] {
+				pass.Reportf(imp.Pos(),
+					"import of %s outside internal/codec: decompression must go through the verifying codec entrypoints", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Codec.Encode / Codec.Decode method calls.
+			if selInfo, ok := pass.Info.Selections[sel]; ok {
+				if fn, ok := selInfo.Obj().(*types.Func); ok && isCodecMethod(fn) {
+					pass.Reportf(call.Pos(),
+						"direct %s.%s call outside internal/codec: raw payload transform skips length and checksum verification; use codec.EncodeFrame/DecodeFrame",
+						recvName(selInfo.Recv()), fn.Name())
+				}
+				return true
+			}
+			// codec.ParseHeader / codec.Sniff package calls.
+			if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+				if fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), exemptSuffix) {
+					if why, bad := lowLevel[fn.Name()]; bad {
+						pass.Reportf(call.Pos(), "codec.%s outside internal/codec: %s", fn.Name(), why)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCodecMethod reports whether fn is the Encode or Decode method of a
+// type declared in an internal/codec package (the Codec interface or a
+// concrete codec).
+func isCodecMethod(fn *types.Func) bool {
+	if fn.Name() != "Encode" && fn.Name() != "Decode" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), exemptSuffix)
+}
+
+func recvName(t types.Type) string {
+	for {
+		switch tt := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return t.String()
+		}
+	}
+}

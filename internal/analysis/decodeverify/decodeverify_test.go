@@ -1,0 +1,11 @@
+package decodeverify
+
+import (
+	"testing"
+
+	"crfs/internal/analysis/analysistest"
+)
+
+func TestDecodeVerify(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

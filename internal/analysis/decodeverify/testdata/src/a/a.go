@@ -1,0 +1,31 @@
+// Package a exercises the decodeverify analyzer: raw Codec method
+// calls and header-level parsing outside the codec boundary.
+package a
+
+import (
+	"crfs/internal/codec"
+)
+
+func rawDecode(c codec.Codec, payload []byte) ([]byte, error) {
+	return c.Decode(nil, payload, 128) // want `direct Codec\.Decode call outside internal/codec`
+}
+
+func rawEncode(c codec.Codec, payload []byte) ([]byte, error) {
+	return c.Encode(nil, payload) // want `direct Codec\.Encode call outside internal/codec`
+}
+
+func parseHeader(b []byte) (codec.Header, error) {
+	return codec.ParseHeader(b) // want `codec\.ParseHeader outside internal/codec`
+}
+
+func verifiedDecode(h codec.Header, payload []byte) ([]byte, error) {
+	return codec.DecodeFrame(h, payload, nil) // clean: verifying entrypoint
+}
+
+func probe(b []byte) bool {
+	return codec.Sniff(b) // clean: magic probe precedes ScanPrefix, decodes nothing
+}
+
+func checksum(b []byte) uint32 {
+	return codec.Checksum(b) // clean: creates checksums, bypasses nothing
+}

@@ -1,0 +1,5 @@
+package a
+
+import "compress/flate" // want `import of compress/flate outside internal/codec`
+
+var _ = flate.NewReader

@@ -1,0 +1,11 @@
+package errwrap
+
+import (
+	"testing"
+
+	"crfs/internal/analysis/analysistest"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

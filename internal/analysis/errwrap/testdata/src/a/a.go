@@ -1,0 +1,57 @@
+// Package a exercises the errwrap analyzer: identity comparison against
+// module sentinels, non-%w wrapping, and error-text matching.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"crfs/internal/codec"
+)
+
+var ErrLocal = errors.New("a: local sentinel")
+
+// notASentinel is unexported non-package-level-looking... it is package
+// level but not Err-prefixed, so identity comparison is not flagged.
+var notASentinel = errors.New("a: other")
+
+func compare(err error) bool {
+	if err == codec.ErrCorrupt { // want `sentinel ErrCorrupt compared with ==`
+		return true
+	}
+	if err != ErrLocal { // want `sentinel ErrLocal compared with !=`
+		return false
+	}
+	if err == io.EOF { // clean: stdlib sentinel, == is idiomatic
+		return true
+	}
+	if err == notASentinel { // clean: not Err-prefixed
+		return true
+	}
+	if err == nil { // clean
+		return false
+	}
+	return errors.Is(err, codec.ErrChecksum) // clean: the blessed form
+}
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("salvage: %v", codec.ErrCorrupt) // want `sentinel ErrCorrupt passed to fmt.Errorf with %v`
+	}
+	if errors.Is(err, ErrLocal) {
+		return fmt.Errorf("scan %s: %s", "name", ErrLocal) // want `sentinel ErrLocal passed to fmt.Errorf with %s`
+	}
+	return fmt.Errorf("open %q: %w", "name", ErrLocal) // clean: %w keeps the chain
+}
+
+func textMatch(err error) bool {
+	if strings.Contains(err.Error(), "corrupt") { // want `strings.Contains over err.Error\(\)`
+		return true
+	}
+	if strings.HasPrefix(err.Error(), "codec:") { // want `strings.HasPrefix over err.Error\(\)`
+		return true
+	}
+	return err.Error() == "codec: corrupt frame" // want `comparing err.Error\(\) text`
+}

@@ -1,0 +1,25 @@
+package lockorder
+
+import (
+	"testing"
+
+	"crfs/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}
+
+// TestTruncOpenException proves the DESIGN.md Trunc-open case — the
+// deferred truncate of a still-private entry under FS.mu — is allowed
+// when (and only because) it carries a counted //crfsvet:ignore waiver.
+func TestTruncOpenException(t *testing.T) {
+	res := analysistest.Run(t, "testdata", Analyzer, "truncopen")
+	if len(res.Findings) != 0 {
+		t.Errorf("want no unsuppressed findings, got:\n%s", analysistest.FindingsByLine(res.Findings))
+	}
+	if len(res.Suppressed) != 1 {
+		t.Errorf("want exactly 1 counted waiver, got %d:\n%s",
+			len(res.Suppressed), analysistest.FindingsByLine(res.Suppressed))
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// IgnoreDirective is the inline waiver marker. It suppresses (but still
+// counts) any diagnostic on its line or the line directly below, and
+// must carry a reason: `//crfsvet:ignore lock order proven acyclic by X`.
+const IgnoreDirective = "//crfsvet:ignore"
+
+// Result is the outcome of running analyzers over one or more units.
+type Result struct {
+	// Diags holds every finding, suppressed or not, ordered by
+	// position. Findings of the pseudo-analyzer "crfsvet" report
+	// malformed directives (an ignore with no reason).
+	Diags []Diagnostic
+}
+
+// Findings returns the unsuppressed diagnostics — the ones that fail
+// the build.
+func (r *Result) Findings() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the waived diagnostics.
+func (r *Result) Suppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies each analyzer to each package unit, applies the
+// //crfsvet:ignore suppression pass, and returns all diagnostics sorted
+// by position. Analyzer errors (not findings) are returned as-is.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{}
+	for _, pkg := range pkgs {
+		ignores, bad := scanIgnores(pkg)
+		res.Diags = append(res.Diags, bad...)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			for _, d := range diags {
+				if a.SkipTestFiles && strings.HasSuffix(d.Pos.Filename, "_test.go") {
+					continue
+				}
+				if reason, ok := ignores[lineKey{d.Pos.Filename, d.Pos.Line}]; ok {
+					d.Suppressed, d.Reason = true, reason
+				}
+				res.Diags = append(res.Diags, d)
+			}
+		}
+	}
+	sort.SliceStable(res.Diags, func(i, j int) bool {
+		a, b := res.Diags[i].Pos, res.Diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return res, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// scanIgnores maps each line covered by a //crfsvet:ignore directive
+// (the directive's own line and the one below it, so both same-line and
+// preceding-line placement work) to its reason. Directives missing a
+// reason become "crfsvet" diagnostics: a waiver must say why.
+func scanIgnores(pkg *Package) (map[lineKey]string, []Diagnostic) {
+	ignores := make(map[lineKey]string)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		var comments []*ast.Comment
+		for _, cg := range f.Comments {
+			comments = append(comments, cg.List...)
+		}
+		for _, c := range comments {
+			rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+			if !ok {
+				continue
+			}
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //crfsvet:ignoreXXX — not the directive
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			reason := strings.TrimSpace(rest)
+			if reason == "" {
+				bad = append(bad, Diagnostic{
+					Analyzer: "crfsvet",
+					Pos:      pos,
+					Message:  "crfsvet:ignore directive requires a reason",
+				})
+				continue
+			}
+			ignores[lineKey{pos.Filename, pos.Line}] = reason
+			ignores[lineKey{pos.Filename, pos.Line + 1}] = reason
+		}
+	}
+	return ignores, bad
+}

@@ -1,0 +1,57 @@
+package suite
+
+import (
+	"testing"
+
+	"crfs/internal/analysis"
+)
+
+// TestModuleInvariants runs the full crfsvet suite over every package of
+// the module, tests included — the same sweep as `go run ./cmd/crfsvet
+// ./...`. Any unwaived finding is a build-breaking invariant regression,
+// so `go test ./...` enforces the DESIGN.md invariants even where the CI
+// static-analysis job is not wired up.
+func TestModuleInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var units []*analysis.Package
+	for _, p := range paths {
+		u, err := loader.Load(p, true)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+		units = append(units, u...)
+	}
+	res, err := analysis.RunAnalyzers(units, All)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range res.Findings() {
+		t.Errorf("%s", d)
+	}
+	for _, d := range res.Suppressed() {
+		t.Logf("waived: %s: [%s] %s (reason: %s)", d.Pos, d.Analyzer, d.Message, d.Reason)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if got := ByName(nil); len(got) != len(All) {
+		t.Fatalf("ByName(nil) = %d analyzers, want all %d", len(got), len(All))
+	}
+	got := ByName([]string{"errwrap", "lockorder"})
+	if len(got) != 2 || got[0].Name != "errwrap" || got[1].Name != "lockorder" {
+		t.Fatalf("ByName(errwrap,lockorder) = %v", got)
+	}
+	if got := ByName([]string{"nosuch"}); len(got) != 0 {
+		t.Fatalf("ByName(nosuch) = %v, want empty", got)
+	}
+}

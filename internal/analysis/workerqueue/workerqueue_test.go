@@ -1,0 +1,11 @@
+package workerqueue
+
+import (
+	"testing"
+
+	"crfs/internal/analysis/analysistest"
+)
+
+func TestWorkerQueue(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "core")
+}

@@ -406,6 +406,7 @@ func (fs *FS) Open(name string, flag vfs.OpenFlag) (vfs.File, error) {
 		// Taking the private entry's locks under fs.mu cannot deadlock
 		// (nobody else can hold them), and the cost is one backend
 		// ftruncate.
+		//crfsvet:ignore DESIGN.md Trunc-open exception: entry is unpublished, its locks are uncontended under fs.mu
 		if err := entry.truncate(0); err != nil {
 			fs.mu.Unlock()
 			bf.Close()
