@@ -50,9 +50,18 @@
 //
 //	crfsbench -compact -codec deflate -size 8388608 -delay 200us
 //
-// -json switches every -real/-restart/-crash/-compact scenario to
-// machine-readable output: one JSON object per scenario on stdout, so
-// perf trajectories can be captured as BENCH_*.json.
+// -server drives a crfsd daemon with -clients concurrent protocol-v2
+// clients over persistent connections, each running -ops self-verifying
+// PUT/GET operations ('inproc' spins a server up in-process over an
+// in-memory mount). -server with -stall instead checks the daemon reaps
+// a client that stalls mid-PUT:
+//
+//	crfsbench -server 127.0.0.1:9000 -clients 32 -ops 64 -objsize 1048576
+//	crfsbench -server 127.0.0.1:9000 -stall -stall-timeout 20s
+//
+// -json switches every -real/-restart/-crash/-compact/-server scenario
+// to machine-readable output: one JSON object per scenario on stdout,
+// so perf trajectories can be captured as BENCH_*.json.
 package main
 
 import (
@@ -87,11 +96,29 @@ func main() {
 	compactRun := flag.Bool("compact", false, "run the space-amplification sweep (rewrite-heavy workload, compaction, scrub scaling)")
 	rewrites := flag.Int("rewrites", 4, "with -compact: overwrite passes over the checkpoint image")
 	frameV := flag.Int("framev", 0, "with -real: frame format version to write (0=current, 1=legacy no-checksum, 2=checksummed)")
+	serverAddr := flag.String("server", "", "drive a crfsd daemon at this address with concurrent clients ('inproc' spins one up in-process)")
+	clients := flag.Int("clients", 8, "with -server: concurrent clients")
+	ops := flag.Int("ops", 64, "with -server: operations per client")
+	objSize := flag.Int64("objsize", 1<<20, "with -server: object size in bytes")
+	putFrac := flag.Float64("putfrac", 0.5, "with -server: fraction of operations that are PUTs")
+	stall := flag.Bool("stall", false, "with -server: check the daemon reaps a client that stalls mid-PUT")
+	stallTimeout := flag.Duration("stall-timeout", 30*time.Second, "with -server -stall: how long to wait for the reap")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per scenario instead of human-readable text")
 	flag.Parse()
 
 	emit := newEmitter(*jsonOut)
 	switch {
+	case *serverAddr != "":
+		var err error
+		if *stall {
+			err = stallCheck(emit, *serverAddr, *stallTimeout)
+		} else {
+			err = serverBench(emit, *serverAddr, *clients, *ops, *objSize, *putFrac)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
 	case *crash:
 		if err := crashBench(emit); err != nil {
 			fatal(err)

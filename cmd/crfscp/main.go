@@ -6,6 +6,13 @@
 //
 //	crfscp [-chunk 4194304] [-pool 16777216] [-threads 4] [-bs 8192] [-codec raw|deflate] SRC... DSTDIR
 //	crfscp -restore [-readahead 8] [-repair] SRC... DSTDIR
+//	crfscp -server host:9000 SRC...           (upload to a crfsd daemon)
+//	crfscp -server host:9000 -restore NAME... DSTDIR
+//
+// -server switches to network mode: sources are streamed to a crfsd
+// daemon over one persistent protocol-v2 connection instead of a local
+// mount. With -restore, each NAME is fetched from the daemon into
+// DSTDIR.
 //
 // -repair enables crash recovery on open: a frame container with a torn
 // tail (a power cut mid-checkpoint) is truncated to its longest intact
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	crfs "crfs"
+	"crfs/internal/client"
 )
 
 func main() {
@@ -44,8 +52,15 @@ func main() {
 	restore := flag.Bool("restore", false, "restore direction: read SRC files through a CRFS mount, write plain copies to DSTDIR")
 	readAhead := flag.Int("readahead", 8, "with -restore: read-ahead depth in chunks/frames (0 disables)")
 	repair := flag.Bool("repair", false, "truncate torn frame containers to their intact prefix on first open (crash recovery)")
+	serverAddr := flag.String("server", "", "copy to/from a crfsd daemon at this address instead of a local mount")
 	flag.Parse()
 	args := flag.Args()
+	if *serverAddr != "" {
+		if err := serverMode(*serverAddr, *restore, args); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if len(args) < 2 {
 		fmt.Fprintln(os.Stderr, "usage: crfscp [flags] SRC... DSTDIR")
 		os.Exit(2)
@@ -209,6 +224,69 @@ func restoreOne(fs *crfs.FS, name, dst string, bs int) (int64, error) {
 		}
 	}
 	return off, out.Close()
+}
+
+// serverMode moves files over the wire to/from a crfsd daemon on one
+// persistent protocol-v2 connection.
+func serverMode(addr string, restore bool, args []string) error {
+	if len(args) < 1 || (restore && len(args) < 2) {
+		fmt.Fprintln(os.Stderr, "usage: crfscp -server host:port SRC...")
+		fmt.Fprintln(os.Stderr, "       crfscp -server host:port -restore NAME... DSTDIR")
+		os.Exit(2)
+	}
+	c, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	start := time.Now()
+	var total int64
+	if restore {
+		dst := args[len(args)-1]
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			return err
+		}
+		for _, name := range args[:len(args)-1] {
+			out, err := os.Create(filepath.Join(dst, filepath.Base(name)))
+			if err != nil {
+				return err
+			}
+			n, err := c.Get(name, out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("GET %s: %w", name, err)
+			}
+			total += n
+		}
+		el := time.Since(start).Seconds()
+		fmt.Printf("fetched %d bytes in %.3fs (%.1f MB/s)\n", total, el, float64(total)/el/(1<<20))
+		return nil
+	}
+	for _, src := range args {
+		in, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		info, err := in.Stat()
+		if err != nil {
+			in.Close()
+			return err
+		}
+		err = c.Put(filepath.Base(src), in, info.Size())
+		in.Close()
+		if err != nil {
+			return fmt.Errorf("PUT %s: %w", src, err)
+		}
+		total += info.Size()
+	}
+	el := time.Since(start).Seconds()
+	fmt.Printf("uploaded %d bytes in %.3fs (%.1f MB/s)\n", total, el, float64(total)/el/(1<<20))
+	if line, err := c.Stat(); err == nil {
+		fmt.Println(line)
+	}
+	return nil
 }
 
 func fatal(err error) {

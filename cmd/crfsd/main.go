@@ -3,18 +3,20 @@
 // before they reach the backing directory. It plays the role a
 // CRFS-mounted staging node plays in the paper's deployment.
 //
-// Protocol (one request per connection, line-oriented header):
+// Connections carry the framed, multiplexed protocol v2 (see
+// internal/server): a persistent connection serves many concurrent
+// requests, PUT bodies stream straight into the CRFS write pipeline
+// under backpressure, and a failed or abandoned PUT never leaves a
+// partial file visible under the target name. The legacy one-shot v1
+// line protocol (PUT/GET/STAT/SCRUB lines, raw bodies) is still served
+// to old clients, with its wire-level error handling fixed.
 //
-//	PUT <name> <size>\n<size bytes>   -> "OK <bytes>\n"
-//	GET <name>\n                      -> "OK <size>\n<size bytes>"
-//	STAT\n                            -> one line of mount statistics
-//	SCRUB\n                           -> verify every container's frames
-//	                                     (fanned across the IO workers)
-//	                                     and report one summary line
-//
-// STAT reports the write/codec counters plus the recovery, compaction,
-// and scrub counters (containers salvaged/repaired at open, containers
-// compacted and bytes reclaimed, frames scrub-verified).
+// The daemon is shaped for heavy concurrent traffic: a global
+// connection cap, a per-connection in-flight request cap, read/write
+// deadlines that reap stalled clients, accept-loop backoff, and a
+// graceful drain on SIGTERM/SIGINT — stop accepting, finish in-flight
+// requests, close the filesystem, exit 0. With -metrics it also serves
+// the full Stats tree in Prometheus text format at /metrics.
 //
 // With -compact-ratio the daemon compacts rewrite-heavy containers
 // online: after each PUT (and on the -compact-interval cadence) any
@@ -23,20 +25,24 @@
 //
 // Usage:
 //
-//	crfsd -dir /scratch/ckpt -addr :9000
+//	crfsd -dir /scratch/ckpt -addr :9000 -metrics 127.0.0.1:9100
 //	crfsd -dir /scratch/ckpt -codec deflate -compact-ratio 0.3 -compact-interval 1m
 package main
 
 import (
-	"bufio"
+	"context"
 	"flag"
-	"fmt"
-	"io"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	crfs "crfs"
+	"crfs/internal/server"
 )
 
 func main() {
@@ -51,6 +57,14 @@ func main() {
 	compactRatio := flag.Float64("compact-ratio", 0, "dead-byte ratio that triggers online container compaction after PUTs (0 disables)")
 	compactMin := flag.Int64("compact-min-bytes", 1<<20, "minimum reclaimable bytes before a container is compacted")
 	compactEvery := flag.Duration("compact-interval", 0, "background re-check cadence for open containers (0 disables the background pass)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address at /metrics (empty disables)")
+	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "cap on concurrently served connections")
+	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "cap on concurrent requests per connection")
+	maxPutBytes := flag.Int64("max-put-bytes", 0, "reject PUTs declaring a larger body (0 = unlimited)")
+	readTimeout := flag.Duration("read-timeout", server.DefaultReadTimeout, "per-read deadline while a request body is being streamed")
+	writeTimeout := flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-write deadline toward clients")
+	idleTimeout := flag.Duration("idle-timeout", server.DefaultIdleTimeout, "close connections idle this long")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight requests")
 	flag.Parse()
 
 	cdc, err := crfs.LookupCodec(*codecName)
@@ -67,145 +81,67 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv := server.New(fs, server.Config{
+		MaxConns:     *maxConns,
+		MaxInFlight:  *maxInFlight,
+		MaxPutBytes:  *maxPutBytes,
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+		Logf:         log.Printf,
+	})
+	if n, err := srv.SweepStaging(); err != nil {
+		log.Printf("crfsd: sweeping staging temps: %v", err)
+	} else if n > 0 {
+		log.Printf("crfsd: removed %d stale staging temp(s)", n)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s readahead=%d repair=%v compact-ratio=%v)",
-		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name(), *readAhead, *repair, *compactRatio)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("accept: %v", err)
-			continue
-		}
-		go serve(fs, conn)
-	}
-}
 
-func serve(fs *crfs.FS, conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewReader(conn)
-	line, err := r.ReadString('\n')
-	if err != nil {
-		return
-	}
-	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) == 0 {
-		fmt.Fprintf(conn, "ERR empty request\n")
-		return
-	}
-	switch fields[0] {
-	case "PUT":
-		if len(fields) != 3 {
-			fmt.Fprintf(conn, "ERR usage: PUT name size\n")
-			return
-		}
-		var size int64
-		if _, err := fmt.Sscanf(fields[2], "%d", &size); err != nil || size < 0 {
-			fmt.Fprintf(conn, "ERR bad size\n")
-			return
-		}
-		n, err := put(fs, fields[1], size, r)
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			fmt.Fprintf(conn, "ERR %v\n", err)
-			return
+			log.Fatal(err)
 		}
-		fmt.Fprintf(conn, "OK %d\n", n)
-	case "GET":
-		if len(fields) != 2 {
-			fmt.Fprintf(conn, "ERR usage: GET name\n")
-			return
-		}
-		if err := get(fs, fields[1], conn); err != nil {
-			fmt.Fprintf(conn, "ERR %v\n", err)
-		}
-	case "STAT":
-		st := fs.Stats()
-		fmt.Fprintf(conn, "writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f "+
-			"scanned=%d salvaged=%d repaired=%d salvage_frames_dropped=%d salvage_bytes_truncated=%d failed_chunks=%d "+
-			"compacted=%d compact_frames_dropped=%d compact_bytes_reclaimed=%d "+
-			"frames_verified=%d scrub_corruptions=%d scrub_repaired=%d "+
-			"checksum_verified=%d checksum_failed=%d checksum_skipped=%d\n",
-			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits,
-			st.CodecBytesIn, st.CodecBytesOut, st.CompressionRatio(),
-			st.ContainersScanned, st.ContainersSalvaged, st.ContainersRepaired,
-			st.SalvageFramesDropped, st.SalvageBytesTruncated, st.FailedChunks,
-			st.ContainersCompacted, st.CompactFramesDropped, st.CompactBytesReclaimed,
-			st.FramesVerified, st.ScrubCorruptions, st.ScrubRepaired,
-			st.ChecksumVerified, st.ChecksumFailed, st.ChecksumSkipped)
-	case "SCRUB":
-		rep, err := fs.Scrub(crfs.ScrubOptions{})
-		if err != nil {
-			fmt.Fprintf(conn, "ERR %v\n", err)
-			return
-		}
-		fmt.Fprintf(conn, "OK containers=%d frames=%d bytes=%d corrupt_frames=%d torn=%d clean=%v\n",
-			rep.Containers, rep.Frames, rep.Bytes, rep.CorruptFrames, rep.TornContainers, rep.Clean())
-	default:
-		fmt.Fprintf(conn, "ERR unknown verb %q\n", fields[0])
-	}
-}
-
-func put(fs *crfs.FS, name string, size int64, r io.Reader) (int64, error) {
-	f, err := fs.Open(name, crfs.WriteOnly|crfs.Create|crfs.Trunc)
-	if err != nil {
-		return 0, err
-	}
-	buf := make([]byte, 64<<10)
-	var off int64
-	for off < size {
-		want := int64(len(buf))
-		if size-off < want {
-			want = size - off
-		}
-		n, err := io.ReadFull(r, buf[:want])
-		if n > 0 {
-			if _, werr := f.WriteAt(buf[:n], off); werr != nil {
-				f.Close()
-				return off, werr
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		msrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && err != http.ErrServerClosed {
+				log.Printf("crfsd: metrics server: %v", err)
 			}
-			off += int64(n)
-		}
-		if err != nil {
-			f.Close()
-			return off, err
-		}
+		}()
+		log.Printf("crfsd: metrics on http://%s/metrics", mln.Addr())
 	}
-	return off, f.Close()
-}
 
-func get(fs *crfs.FS, name string, conn net.Conn) error {
-	f, err := fs.Open(name, crfs.ReadOnly)
-	if err != nil {
-		return err
+	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s readahead=%d repair=%v compact-ratio=%v max-conns=%d max-inflight=%d)",
+		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name(), *readAhead, *repair, *compactRatio, *maxConns, *maxInFlight)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("crfsd: %v: draining (timeout %v)", sig, *drainTimeout)
+	case err := <-errc:
+		log.Fatalf("crfsd: serve: %v", err)
 	}
-	defer f.Close()
-	info, err := f.Stat()
-	if err != nil {
-		return err
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("crfsd: drain incomplete, connections torn down: %v", err)
 	}
-	fmt.Fprintf(conn, "OK %d\n", info.Size)
-	buf := make([]byte, 64<<10)
-	var off int64
-	for off < info.Size {
-		want := int64(len(buf))
-		if info.Size-off < want {
-			want = info.Size - off
-		}
-		n, err := f.ReadAt(buf[:want], off)
-		if n > 0 {
-			if _, werr := conn.Write(buf[:n]); werr != nil {
-				return werr
-			}
-			off += int64(n)
-		}
-		if err != nil && err != io.EOF {
-			return err
-		}
-		if n == 0 {
-			break
-		}
+	if msrv != nil {
+		msrv.Close()
 	}
-	return nil
+	if err := fs.Unmount(); err != nil {
+		log.Fatalf("crfsd: unmount: %v", err)
+	}
+	log.Printf("crfsd: drained, exiting")
 }

@@ -1,0 +1,362 @@
+// Package client is the protocol-v2 client used by crfscp and
+// crfsbench: one persistent connection carrying many framed requests,
+// multiplexed up to the server's advertised in-flight cap. All methods
+// are safe for concurrent use; each blocks until its request completes.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"crfs/internal/server"
+)
+
+// Config tunes a Client. The zero value is usable.
+type Config struct {
+	// DialTimeout bounds the TCP connect plus hello exchange. Default 10s.
+	DialTimeout time.Duration
+	// IOTimeout, when positive, bounds each frame read/write on the wire.
+	// Zero means no per-frame deadline.
+	IOTimeout time.Duration
+}
+
+// Client is one protocol-v2 session.
+type Client struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex // serializes frame writes (frames are atomic on the wire)
+
+	maxInFlight int
+	sem         chan struct{}
+	ioTimeout   time.Duration
+
+	mu      sync.Mutex
+	nextID  uint32
+	pending map[uint32]chan frame
+	err     error
+}
+
+// frame is one routed response frame (payload already copied).
+type frame struct {
+	typ     uint8
+	payload []byte
+}
+
+// RemoteError is an error frame returned by the server for one request:
+// the request failed but the session is still usable. Msg carries the
+// server's error text verbatim. Transport and protocol failures are
+// reported as other error types and poison the whole session.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Dial connects to a protocol-v2 server and completes the hello
+// exchange.
+func Dial(addr string, cfg Config) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:        nc,
+		br:        bufio.NewReaderSize(nc, 64<<10),
+		ioTimeout: cfg.IOTimeout,
+		pending:   make(map[uint32]chan frame),
+	}
+	nc.SetDeadline(time.Now().Add(cfg.DialTimeout))
+	if _, err := io.WriteString(nc, server.HelloLine); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: hello: %w", err)
+	}
+	hdr, payload, err := server.ReadFrame(c.br, nil)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: reading server hello: %w", err)
+	}
+	if hdr.Type != server.FrameHello || hdr.ReqID != 0 {
+		nc.Close()
+		return nil, fmt.Errorf("client: unexpected first frame type %#x: %w", hdr.Type, server.ErrProtocol)
+	}
+	c.maxInFlight = parseHello(string(payload))
+	c.sem = make(chan struct{}, c.maxInFlight)
+	nc.SetDeadline(time.Time{})
+	go c.reader()
+	return c, nil
+}
+
+// parseHello extracts maxinflight from the server hello, defaulting
+// conservatively when absent.
+func parseHello(s string) int {
+	for _, f := range strings.Fields(s) {
+		if v, ok := strings.CutPrefix(f, "maxinflight="); ok {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				return n
+			}
+		}
+	}
+	return 1
+}
+
+// MaxInFlight reports the server's advertised per-connection request cap.
+func (c *Client) MaxInFlight() int { return c.maxInFlight }
+
+// Close tears the connection down; in-flight requests fail.
+func (c *Client) Close() error {
+	c.fail(net.ErrClosed)
+	return c.nc.Close()
+}
+
+// fail marks the session dead and wakes every pending request.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return
+	}
+	c.err = err
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
+// reader is the demux goroutine: it routes every incoming frame to the
+// request that owns it.
+func (c *Client) reader() {
+	var buf []byte
+	for {
+		hdr, payload, err := c.readFrame(buf)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			c.nc.Close()
+			return
+		}
+		buf = payload[:0]
+		if hdr.ReqID == 0 {
+			// Connection-level error (protocol violation report): fatal.
+			c.fail(fmt.Errorf("client: server closed the session: %s", payload))
+			c.nc.Close()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[hdr.ReqID]
+		c.mu.Unlock()
+		if ch == nil {
+			// A response for a request we already gave up on; drop it.
+			continue
+		}
+		ch <- frame{typ: hdr.Type, payload: append([]byte(nil), payload...)}
+	}
+}
+
+// readFrame reads one frame under the optional IO deadline.
+func (c *Client) readFrame(buf []byte) (server.Header, []byte, error) {
+	if c.ioTimeout > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(c.ioTimeout))
+	}
+	return server.ReadFrame(c.br, buf)
+}
+
+// begin registers a new request and sends its req frame.
+func (c *Client) begin(line string) (uint32, chan frame, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	c.nextID++
+	if c.nextID == 0 {
+		c.nextID = 1
+	}
+	id := c.nextID
+	ch := make(chan frame, 16)
+	c.pending[id] = ch
+	c.mu.Unlock()
+	if err := c.writeFrame(server.FrameReq, id, []byte(line)); err != nil {
+		c.forget(id)
+		return 0, nil, err
+	}
+	return id, ch, nil
+}
+
+func (c *Client) forget(id uint32) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// writeFrame writes one frame atomically (header and payload under one
+// lock hold) and flushes it to the wire.
+func (c *Client) writeFrame(typ uint8, id uint32, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.ioTimeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+	}
+	return server.WriteFrame(c.nc, typ, id, payload)
+}
+
+// wait blocks for the request's terminal frame, returning the payload
+// of the end frame or the error frame's text as an error.
+func (c *Client) wait(id uint32, ch chan frame) (string, error) {
+	defer c.forget(id)
+	for f := range ch {
+		switch f.typ {
+		case server.FrameEnd:
+			return string(f.payload), nil
+		case server.FrameErr:
+			return "", &RemoteError{Msg: string(f.payload)}
+		default:
+			return "", fmt.Errorf("client: unexpected frame type %#x: %w", f.typ, server.ErrProtocol)
+		}
+	}
+	return "", c.sessionErr()
+}
+
+func (c *Client) sessionErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return net.ErrClosed
+}
+
+// acquire takes an in-flight slot (the server refuses requests past its
+// advertised cap, so the client queues locally instead).
+func (c *Client) acquire() { c.sem <- struct{}{} }
+func (c *Client) release() { <-c.sem }
+
+// Put streams size bytes from r to the server under name. The server
+// stages the body and commits it only on clean completion, so a failed
+// Put never leaves a partial file visible.
+func (c *Client) Put(name string, r io.Reader, size int64) error {
+	c.acquire()
+	defer c.release()
+	id, ch, err := c.begin(fmt.Sprintf("PUT %s %d", name, size))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, server.DataChunk)
+	var sent int64
+	for sent < size {
+		// An early error response (cap exceeded, draining, bad name) means
+		// the server is discarding the body: stop streaming, close it out.
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				c.forget(id)
+				return c.sessionErr()
+			}
+			c.forget(id)
+			if f.typ == server.FrameErr {
+				c.writeFrame(server.FrameEnd, id, nil)
+				return &RemoteError{Msg: string(f.payload)}
+			}
+			return fmt.Errorf("client: PUT %s: early frame type %#x: %w", name, f.typ, server.ErrProtocol)
+		default:
+		}
+		want := int64(len(buf))
+		if size-sent < want {
+			want = size - sent
+		}
+		if _, err := io.ReadFull(r, buf[:want]); err != nil {
+			// The body source failed: we cannot complete the declared size,
+			// so the connection is poisoned; tear it down and report.
+			c.Close()
+			return fmt.Errorf("client: PUT %s: reading body: %w", name, err)
+		}
+		if err := c.writeFrame(server.FrameData, id, buf[:want]); err != nil {
+			c.forget(id)
+			return err
+		}
+		sent += want
+	}
+	if err := c.writeFrame(server.FrameEnd, id, nil); err != nil {
+		c.forget(id)
+		return err
+	}
+	line, err := c.wait(id, ch)
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return fmt.Errorf("client: PUT %s: bad response %q: %w", name, line, server.ErrProtocol)
+	}
+	return nil
+}
+
+// Get streams name's content into w and returns the byte count. On a
+// mid-stream server error, bytes already received have been written to
+// w and the error reports the failure — error text is never written
+// into w as content.
+func (c *Client) Get(name string, w io.Writer) (int64, error) {
+	c.acquire()
+	defer c.release()
+	id, ch, err := c.begin("GET " + name)
+	if err != nil {
+		return 0, err
+	}
+	defer c.forget(id)
+	var n int64
+	for f := range ch {
+		switch f.typ {
+		case server.FrameData:
+			wn, werr := w.Write(f.payload)
+			n += int64(wn)
+			if werr != nil {
+				// The sink failed; the server keeps streaming. Poison the
+				// session rather than desync the request.
+				c.Close()
+				return n, fmt.Errorf("client: GET %s: writing body: %w", name, werr)
+			}
+		case server.FrameEnd:
+			line := string(f.payload)
+			var size int64
+			if _, err := fmt.Sscanf(line, "OK %d", &size); err != nil || size != n {
+				return n, fmt.Errorf("client: GET %s: got %d bytes, trailer %q: %w", name, n, line, server.ErrProtocol)
+			}
+			return n, nil
+		case server.FrameErr:
+			return n, &RemoteError{Msg: string(f.payload)}
+		default:
+			return n, fmt.Errorf("client: GET %s: unexpected frame type %#x: %w", name, f.typ, server.ErrProtocol)
+		}
+	}
+	return n, c.sessionErr()
+}
+
+// Stat returns the server's one-line stats summary.
+func (c *Client) Stat() (string, error) { return c.simple("STAT") }
+
+// Scrub runs a scrub pass on the server and returns its summary line.
+func (c *Client) Scrub() (string, error) { return c.simple("SCRUB") }
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, err := c.simple("PING")
+	return err
+}
+
+func (c *Client) simple(verb string) (string, error) {
+	c.acquire()
+	defer c.release()
+	id, ch, err := c.begin(verb)
+	if err != nil {
+		return "", err
+	}
+	return c.wait(id, ch)
+}

@@ -1,0 +1,123 @@
+package client_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crfs/internal/client"
+	"crfs/internal/core"
+	"crfs/internal/memfs"
+	"crfs/internal/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	fs, err := core.Mount(memfs.New(), core.Options{ChunkSize: 64 << 10, BufferPoolSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(fs, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		fs.Unmount()
+	})
+	return ln.Addr().String()
+}
+
+func TestHelloAdvertisesCap(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.MaxInFlight(); got != server.DefaultMaxInFlight {
+		t.Fatalf("MaxInFlight = %d, want %d", got, server.DefaultMaxInFlight)
+	}
+}
+
+// TestOneConnectionManyRequests multiplexes concurrent PUTs and GETs
+// over a single persistent connection.
+func TestOneConnectionManyRequests(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Config{IOTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const workers = 16
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("mux/%d", w)
+			body := bytes.Repeat([]byte{byte(w)}, 100_000)
+			for i := 0; i < 4; i++ {
+				if err := c.Put(name, bytes.NewReader(body), int64(len(body))); err != nil {
+					errc <- fmt.Errorf("put %s: %w", name, err)
+					return
+				}
+				var got bytes.Buffer
+				if _, err := c.Get(name, &got); err != nil || !bytes.Equal(got.Bytes(), body) {
+					errc <- fmt.Errorf("get %s: err=%v equal=%v", name, err, bytes.Equal(got.Bytes(), body))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestPutBodySourceFailurePoisonsSession: if the local body source dies
+// mid-PUT the declared size can never be honored, so the session must
+// fail rather than desync the framing.
+func TestPutBodySourceFailurePoisonsSession(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Config{IOTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	short := io.LimitReader(bytes.NewReader(make([]byte, 1<<20)), 100_000)
+	if err := c.Put("short", short, 1<<20); err == nil {
+		t.Fatal("PUT with short body source succeeded")
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("session still usable after body source failure")
+	}
+}
+
+func TestServerErrorText(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Config{IOTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Get("missing", io.Discard)
+	var re *client.RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "missing") {
+		t.Fatalf("GET missing: %v", err)
+	}
+}

@@ -1,12 +1,19 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"crfs/internal/codec"
 	"crfs/internal/vfs"
 )
+
+// ErrDestinationOpen reports a Rename whose destination is an open file:
+// re-keying an open entry under a live handle is rejected (see
+// renameLocked). Callers that stage-and-rename (crfsd's PUT commit) test
+// for it with errors.Is and retry once the reader closes.
+var ErrDestinationOpen = errors.New("rename destination is open")
 
 // FS is a CRFS mount: a vfs.FS stacked over a backend vfs.FS.
 type FS struct {
@@ -725,7 +732,7 @@ func (fs *FS) Rename(oldName, newName string) error {
 // let an Open(newName) build a second entry for the same file.
 func (fs *FS) renameLocked(oldKey, newKey, oldName, newName string, entry *fileEntry) error {
 	if _, ok := fs.files[newKey]; ok && newKey != oldKey {
-		return fmt.Errorf("core: rename %s to %s: destination is open: %w", oldKey, newKey, vfs.ErrInvalid)
+		return fmt.Errorf("core: rename %s to %s: %w: %w", oldKey, newKey, ErrDestinationOpen, vfs.ErrInvalid)
 	}
 	if err := fs.backend.Rename(oldName, newName); err != nil {
 		return err

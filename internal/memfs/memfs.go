@@ -54,6 +54,17 @@ func WithWriteError(n int, err error) Option {
 // ErrTornWrite is the error a write torn by WithTornWrite fails with.
 var ErrTornWrite = errors.New("memfs: torn write")
 
+// WithReadError arranges for ReadAt to fail with err after the first n
+// successful reads (n counts across all files), modelling media that
+// goes bad mid-stream: opens and early reads succeed, then every later
+// read fails. n < 0 disables injection.
+func WithReadError(n int, err error) Option {
+	return func(m *FS) {
+		m.readFailAfter = n
+		m.readFailErr = err
+	}
+}
+
 // WithTornWrite arranges for the write after the first n successful
 // writes (counted across all files, like WithWriteError) to persist only
 // the first ceil(frac*len) bytes of its payload before failing with
@@ -89,13 +100,17 @@ type FS struct {
 	readDelay  time.Duration
 	failAfter  int
 	failErr    error
-	tornAfter  int
-	tornFrac   float64
-	tornDone   bool
-	writes     int // completed writes, for failure injection
-	capacity   int64
-	used       int64
-	now        func() time.Time
+
+	readFailAfter int
+	readFailErr   error
+	reads         int // completed reads, for failure injection
+	tornAfter     int
+	tornFrac      float64
+	tornDone      bool
+	writes        int // completed writes, for failure injection
+	capacity      int64
+	used          int64
+	now           func() time.Time
 
 	// Counters for tests and stats reporting.
 	statWrites  int64
@@ -109,11 +124,12 @@ type FS struct {
 // New returns an empty in-memory filesystem.
 func New(opts ...Option) *FS {
 	m := &FS{
-		nodes:     map[string]*node{".": {isDir: true, children: map[string]bool{}}},
-		failAfter: -1,
-		tornAfter: -1,
-		capacity:  -1,
-		now:       time.Now,
+		nodes:         map[string]*node{".": {isDir: true, children: map[string]bool{}}},
+		failAfter:     -1,
+		readFailAfter: -1,
+		tornAfter:     -1,
+		capacity:      -1,
+		now:           time.Now,
 	}
 	for _, o := range opts {
 		o(m)
@@ -477,6 +493,10 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 	m := f.fs
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.readFailAfter >= 0 && m.reads >= m.readFailAfter {
+		return 0, fmt.Errorf("memfs: read %s: injected: %w", f.name, m.readFailErr)
+	}
+	m.reads++
 	if off >= f.node.size {
 		return 0, io.EOF
 	}

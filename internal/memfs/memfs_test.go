@@ -396,3 +396,25 @@ func TestWriteAtModelProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReadErrorInjection(t *testing.T) {
+	rot := errors.New("bit rot")
+	m := New(WithReadError(2, rot))
+	if err := vfs.WriteFile(m, "f", []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := m.Open("f", vfs.ReadOnly)
+	defer f.Close()
+	buf := make([]byte, 2)
+	for i := 0; i < 2; i++ {
+		if _, err := f.ReadAt(buf, int64(2*i)); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	// Media has gone bad: every read from here on fails.
+	for i := 0; i < 2; i++ {
+		if _, err := f.ReadAt(buf, 4); !errors.Is(err, rot) {
+			t.Errorf("read after fault: %v, want bit rot", err)
+		}
+	}
+}

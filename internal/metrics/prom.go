@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromMetric is one sample of the Prometheus text exposition format: a
+// metric name, its HELP line, its TYPE (counter or gauge), and the
+// current value. crfsd's /metrics endpoint renders the full Stats tree
+// of a mount — recovery, compaction, scrub, integrity, and the server's
+// own connection counters — as a flat list of these.
+type PromMetric struct {
+	Name  string
+	Help  string
+	Type  string // "counter" or "gauge"
+	Value float64
+}
+
+// Counter builds a counter-typed PromMetric from an integer total.
+func Counter(name, help string, v int64) PromMetric {
+	return PromMetric{Name: name, Help: help, Type: "counter", Value: float64(v)}
+}
+
+// Gauge builds a gauge-typed PromMetric.
+func Gauge(name, help string, v float64) PromMetric {
+	return PromMetric{Name: name, Help: help, Type: "gauge", Value: v}
+}
+
+// WritePrometheus renders the metrics in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE line per metric followed
+// by the sample. Metrics are emitted in name order so the output is
+// deterministic and diffable; HELP text is escaped per the format rules.
+func WritePrometheus(w io.Writer, ms []PromMetric) error {
+	sorted := make([]PromMetric, len(ms))
+	copy(sorted, ms)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, m := range sorted {
+		typ := m.Type
+		if typ == "" {
+			typ = "gauge"
+		}
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", m.Name, typ, m.Name, m.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// escapeHelp escapes backslashes and newlines, the two characters the
+// exposition format requires escaping in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,744 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"crfs/internal/core"
+	"crfs/internal/vfs"
+)
+
+// maxRequestLine bounds the first line of a connection (and every v1
+// request line): names are short, so anything longer is garbage.
+const maxRequestLine = 4096
+
+// maxRejectedIDs bounds the set of request ids whose body frames are
+// being drained after an early error response; a client pushing past it
+// is abusing the protocol and the connection is dropped.
+const maxRejectedIDs = 64
+
+// srvConn is one served connection, either protocol version.
+type srvConn struct {
+	srv *Server
+	nc  net.Conn
+	br  *bufio.Reader
+
+	out  chan outFrame
+	dead chan struct{} // closed on teardown; unblocks every sender/receiver
+	once sync.Once
+
+	mu          sync.Mutex
+	inFlight    map[uint32]*inReq
+	rejected    map[uint32]bool
+	expectBody  int // in-flight requests still owed body frames
+	pendingResp int // responses queued but not yet counted complete
+	draining    bool
+	v2          bool
+	v1busy      bool
+
+	handlers sync.WaitGroup
+}
+
+// outFrame is one queued frame toward the client. last marks the
+// graceful-close sentinel: flush everything written so far, then close.
+type outFrame struct {
+	typ     uint8
+	reqID   uint32
+	payload []byte
+	last    bool
+}
+
+// inReq is one in-flight v2 request's routing state.
+type inReq struct {
+	body       chan bodyItem
+	expectBody bool
+	bodyDone   bool
+}
+
+// bodyItem is one routed body frame (or the end-of-body marker).
+type bodyItem struct {
+	data []byte
+	end  bool
+}
+
+// handleConn sniffs the protocol version from the first line and serves
+// the connection to completion.
+func (s *Server) handleConn(nc net.Conn) {
+	c := &srvConn{
+		srv:      s,
+		nc:       nc,
+		br:       bufio.NewReaderSize(nc, 64<<10),
+		out:      make(chan outFrame, 16),
+		dead:     make(chan struct{}),
+		inFlight: make(map[uint32]*inReq),
+		rejected: make(map[uint32]bool),
+	}
+	if !s.register(c) {
+		nc.Close()
+		return
+	}
+	defer s.unregister(c)
+	defer c.handlers.Wait()
+	defer c.close()
+
+	nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	line, err := readLine(c.br, maxRequestLine)
+	if err != nil {
+		return
+	}
+	if strings.TrimRight(line, "\r\n") == strings.TrimRight(HelloLine, "\n") {
+		c.serveV2()
+		return
+	}
+	c.mu.Lock()
+	c.v1busy = true
+	dead := c.isDeadLocked()
+	c.mu.Unlock()
+	if dead {
+		return
+	}
+	c.serveV1(line)
+}
+
+func (c *srvConn) isDeadLocked() bool {
+	select {
+	case <-c.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// close is the forced teardown: it unblocks every goroutine touching
+// the connection (reader, writer, handlers waiting on body frames or
+// the out queue) and lets in-flight PUT handlers abort their staging
+// temps. Idempotent.
+func (c *srvConn) close() {
+	c.once.Do(func() {
+		close(c.dead)
+		c.nc.Close()
+	})
+}
+
+// beginDrain moves the connection into drain mode: in-flight requests
+// run to completion, new requests are refused, and the connection
+// closes once idle (immediately, if it already is).
+func (c *srvConn) beginDrain() {
+	c.mu.Lock()
+	c.draining = true
+	v2 := c.v2
+	idle := (v2 && len(c.inFlight) == 0 && c.pendingResp == 0) || (!v2 && !c.v1busy)
+	c.mu.Unlock()
+	if !idle {
+		return
+	}
+	if v2 {
+		c.queueClose()
+	} else {
+		c.close()
+	}
+}
+
+// queueClose enqueues the graceful-close sentinel: the writer flushes
+// everything queued before it, then closes the connection.
+func (c *srvConn) queueClose() {
+	c.sendFrame(outFrame{last: true})
+}
+
+// sendFrame queues one frame toward the client, giving up if the
+// connection is being torn down.
+func (c *srvConn) sendFrame(f outFrame) bool {
+	select {
+	case c.out <- f:
+		return true
+	case <-c.dead:
+		return false
+	}
+}
+
+// writer is the single goroutine writing the connection: it serializes
+// frames from every handler, applies the write deadline, flushes when
+// the queue momentarily empties, and keeps the read deadline pushed
+// forward while it is making progress (a connection busy streaming a
+// long GET must not be reaped as idle).
+func (c *srvConn) writer() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	cfg := &c.srv.cfg
+	for {
+		select {
+		case f := <-c.out:
+			c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+			if f.last {
+				bw.Flush()
+				c.close()
+				return
+			}
+			if err := WriteFrame(bw, f.typ, f.reqID, f.payload); err != nil {
+				c.close()
+				return
+			}
+			if len(c.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					c.close()
+					return
+				}
+				c.bumpReadDeadline()
+			}
+		case <-c.dead:
+			return
+		}
+	}
+}
+
+// readWindow returns how long the reader may wait for the next frame:
+// the (short) ReadTimeout while a request body is owed, the (long)
+// IdleTimeout otherwise.
+func (c *srvConn) readWindow() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.expectBody > 0 {
+		return c.srv.cfg.ReadTimeout
+	}
+	return c.srv.cfg.IdleTimeout
+}
+
+func (c *srvConn) bumpReadDeadline() {
+	c.nc.SetReadDeadline(time.Now().Add(c.readWindow()))
+}
+
+// ---- protocol v2 ----
+
+// serveV2 runs the framed protocol: one reader (this goroutine), one
+// writer, and a handler goroutine per in-flight request.
+func (c *srvConn) serveV2() {
+	c.mu.Lock()
+	c.v2 = true
+	c.mu.Unlock()
+	go c.writer()
+	hello := fmt.Sprintf("crfsd/2 maxinflight=%d maxframe=%d",
+		c.srv.cfg.MaxInFlight, MaxFramePayload)
+	if !c.sendFrame(outFrame{typ: FrameHello, payload: []byte(hello)}) {
+		return
+	}
+	var buf []byte
+	for {
+		c.bumpReadDeadline()
+		hdr, payload, err := ReadFrame(c.br, buf)
+		if err != nil {
+			if errors.Is(err, ErrProtocol) {
+				c.fatal(err.Error())
+			}
+			return
+		}
+		buf = payload[:0]
+		if !c.dispatch(hdr, payload) {
+			return
+		}
+	}
+}
+
+// fatal reports a connection-level protocol violation and closes after
+// flushing the report.
+func (c *srvConn) fatal(msg string) {
+	c.srv.c.protocolErrors.Add(1)
+	c.sendFrame(outFrame{typ: FrameErr, payload: []byte(msg)})
+	c.queueClose()
+}
+
+// dispatch routes one incoming frame; false tears the connection down.
+func (c *srvConn) dispatch(hdr Header, payload []byte) bool {
+	switch hdr.Type {
+	case FrameReq:
+		return c.handleReq(hdr.ReqID, string(payload))
+	case FrameData:
+		if len(payload) == 0 {
+			c.fatal("server: empty data frame")
+			return false
+		}
+		return c.routeBody(hdr.ReqID, payload, false)
+	case FrameEnd:
+		if hdr.Len != 0 {
+			c.fatal("server: end frame with payload")
+			return false
+		}
+		return c.routeBody(hdr.ReqID, nil, true)
+	default:
+		c.fatal(fmt.Sprintf("server: unexpected frame type %#x from client", hdr.Type))
+		return false
+	}
+}
+
+// handleReq admits (or refuses) one request and spawns its handler.
+func (c *srvConn) handleReq(id uint32, line string) bool {
+	if id == 0 {
+		c.fatal("server: request id 0 is reserved")
+		return false
+	}
+	req, perr := ParseRequest(line)
+	c.mu.Lock()
+	if _, dup := c.inFlight[id]; dup || c.rejected[id] {
+		c.mu.Unlock()
+		c.fatal(fmt.Sprintf("server: request id %d already in flight", id))
+		return false
+	}
+	var reject error
+	switch {
+	case perr != nil:
+		reject = perr
+	case c.draining:
+		reject = fmt.Errorf("server: draining: %w", vfs.ErrClosed)
+	case len(c.inFlight) >= c.srv.cfg.MaxInFlight:
+		c.srv.c.inFlightCapped.Add(1)
+		reject = fmt.Errorf("server: in-flight cap %d exceeded: %w", c.srv.cfg.MaxInFlight, vfs.ErrInvalid)
+	case req.Verb == "PUT" && c.srv.cfg.MaxPutBytes > 0 && req.Size > c.srv.cfg.MaxPutBytes:
+		reject = fmt.Errorf("server: PUT size %d exceeds cap %d: %w", req.Size, c.srv.cfg.MaxPutBytes, vfs.ErrInvalid)
+	}
+	if reject != nil {
+		// A refused PUT still has a body on the wire: remember the id so
+		// its data frames are drained and discarded rather than fataled.
+		if perr == nil && req.Verb == "PUT" {
+			if len(c.rejected) >= maxRejectedIDs {
+				c.mu.Unlock()
+				c.fatal("server: too many rejected requests with pending bodies")
+				return false
+			}
+			c.rejected[id] = true
+		}
+		c.mu.Unlock()
+		c.srv.c.requestErrors.Add(1)
+		return c.sendFrame(outFrame{typ: FrameErr, reqID: id, payload: []byte(reject.Error())})
+	}
+	r := &inReq{expectBody: req.Verb == "PUT"}
+	if r.expectBody {
+		r.body = make(chan bodyItem, 4)
+		c.expectBody++
+	}
+	c.inFlight[id] = r
+	c.mu.Unlock()
+	c.srv.c.requests.Add(1)
+	c.handlers.Add(1)
+	go func() {
+		defer c.handlers.Done()
+		c.run(id, req, r)
+	}()
+	return true
+}
+
+// routeBody delivers a data/end frame to its request handler, applying
+// backpressure: a full body queue blocks the reader (and therefore the
+// TCP window) until the handler catches up.
+func (c *srvConn) routeBody(id uint32, data []byte, end bool) bool {
+	c.mu.Lock()
+	r, ok := c.inFlight[id]
+	if !ok {
+		if c.rejected[id] {
+			if end {
+				delete(c.rejected, id)
+			}
+			c.mu.Unlock()
+			return true
+		}
+		c.mu.Unlock()
+		c.fatal(fmt.Sprintf("server: body frame for unknown request %d", id))
+		return false
+	}
+	if !r.expectBody || r.bodyDone {
+		c.mu.Unlock()
+		c.fatal(fmt.Sprintf("server: unexpected body frame for request %d", id))
+		return false
+	}
+	if end {
+		r.bodyDone = true
+		c.expectBody--
+	}
+	c.mu.Unlock()
+	item := bodyItem{end: end}
+	if !end {
+		item.data = append([]byte(nil), data...)
+		c.srv.c.bytesIn.Add(int64(len(data)))
+	}
+	select {
+	case r.body <- item:
+		return true
+	case <-c.dead:
+		return false
+	}
+}
+
+// complete finishes a request: it retires the routing state, queues the
+// response frame, and — when the connection is draining — closes once
+// the last response is out.
+func (c *srvConn) complete(id uint32, typ uint8, payload []byte) {
+	c.mu.Lock()
+	r := c.inFlight[id]
+	delete(c.inFlight, id)
+	if r != nil && r.expectBody && !r.bodyDone {
+		// The handler gave up before the body finished (e.g. an early
+		// write error): drain the remaining frames into the void.
+		c.expectBody--
+		r.bodyDone = true
+		if len(c.rejected) < maxRejectedIDs {
+			c.rejected[id] = true
+		}
+	}
+	c.pendingResp++
+	c.mu.Unlock()
+	if typ == FrameErr {
+		c.srv.c.requestErrors.Add(1)
+	}
+	c.sendFrame(outFrame{typ: typ, reqID: id, payload: payload})
+	c.mu.Lock()
+	c.pendingResp--
+	idle := len(c.inFlight) == 0 && c.pendingResp == 0
+	last := c.draining && idle
+	c.mu.Unlock()
+	if last {
+		c.queueClose()
+		return
+	}
+	if idle {
+		c.bumpReadDeadline()
+	}
+}
+
+// run executes one v2 request.
+func (c *srvConn) run(id uint32, req Request, r *inReq) {
+	switch req.Verb {
+	case "PING":
+		c.complete(id, FrameEnd, []byte("OK crfsd/2"))
+	case "STAT":
+		c.complete(id, FrameEnd, []byte(statLine(c.srv.fs)))
+	case "SCRUB":
+		line, err := scrubLine(c.srv.fs)
+		if err != nil {
+			c.complete(id, FrameErr, []byte(err.Error()))
+			return
+		}
+		c.complete(id, FrameEnd, []byte(line))
+	case "GET":
+		c.runGet(id, req.Name)
+	case "PUT":
+		c.runPut(id, req, r)
+	}
+}
+
+// runGet streams a file as data frames. Any failure — before the first
+// byte or mid-stream — is an error frame, never bytes on the body
+// stream, so the client can never mistake error text for file content.
+func (c *srvConn) runGet(id uint32, name string) {
+	f, err := c.srv.fs.Open(name, vfs.ReadOnly)
+	if err != nil {
+		c.complete(id, FrameErr, []byte(err.Error()))
+		return
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		c.complete(id, FrameErr, []byte(err.Error()))
+		return
+	}
+	size := info.Size
+	var off int64
+	for off < size {
+		want := int64(DataChunk)
+		if size-off < want {
+			want = size - off
+		}
+		buf := make([]byte, want)
+		n, rerr := f.ReadAt(buf, off)
+		if n > 0 {
+			if !c.sendFrame(outFrame{typ: FrameData, reqID: id, payload: buf[:n]}) {
+				return
+			}
+			off += int64(n)
+			c.srv.c.bytesOut.Add(int64(n))
+		}
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			c.complete(id, FrameErr, []byte(rerr.Error()))
+			return
+		}
+		if n == 0 {
+			// A short read below the promised size must fail loudly, not
+			// silently truncate the response.
+			c.complete(id, FrameErr, []byte(fmt.Sprintf(
+				"server: GET %s: short read at %d of %d", name, off, size)))
+			return
+		}
+	}
+	c.srv.c.getsServed.Add(1)
+	c.complete(id, FrameEnd, []byte(fmt.Sprintf("OK %d", size)))
+}
+
+// runPut streams the request body into a staging temp and commits it
+// under the target name only on clean completion.
+func (c *srvConn) runPut(id uint32, req Request, r *inReq) {
+	src := func() ([]byte, error) {
+		select {
+		case item := <-r.body:
+			if item.end {
+				return nil, io.EOF
+			}
+			return item.data, nil
+		case <-c.dead:
+			return nil, fmt.Errorf("server: connection lost mid-PUT: %w", net.ErrClosed)
+		}
+	}
+	n, err := c.srv.stagePut(req.Name, req.Size, src)
+	if err != nil {
+		c.complete(id, FrameErr, []byte(err.Error()))
+		return
+	}
+	c.complete(id, FrameEnd, []byte(fmt.Sprintf("OK %d", n)))
+}
+
+// ---- protocol v1 (legacy one-shot) ----
+
+// serveV1 serves a single legacy request and closes. Two wire-level v1
+// bugs are fixed relative to the original daemon: a GET that fails
+// mid-stream (or comes up short of the promised size) closes the
+// connection instead of appending "ERR ..." after the "OK <size>"
+// header for the client to parse as file bytes, and a failed PUT
+// discards its staging temp instead of leaving a truncated file
+// committed under the target name.
+func (c *srvConn) serveV1(line string) {
+	c.srv.c.connsV1.Add(1)
+	defer c.close()
+	req, err := ParseRequest(line)
+	if err != nil {
+		fmt.Fprintf(c.nc, "ERR %v\n", err)
+		return
+	}
+	c.srv.c.requests.Add(1)
+	cfg := &c.srv.cfg
+	switch req.Verb {
+	case "PUT":
+		if cfg.MaxPutBytes > 0 && req.Size > cfg.MaxPutBytes {
+			c.srv.c.requestErrors.Add(1)
+			fmt.Fprintf(c.nc, "ERR server: PUT size %d exceeds cap %d\n", req.Size, cfg.MaxPutBytes)
+			return
+		}
+		remaining := req.Size
+		buf := make([]byte, DataChunk)
+		src := func() ([]byte, error) {
+			if remaining == 0 {
+				return nil, io.EOF
+			}
+			want := int64(len(buf))
+			if remaining < want {
+				want = remaining
+			}
+			c.nc.SetReadDeadline(time.Now().Add(cfg.ReadTimeout))
+			if _, err := io.ReadFull(c.br, buf[:want]); err != nil {
+				return nil, fmt.Errorf("server: short PUT body: %w", err)
+			}
+			remaining -= want
+			c.srv.c.bytesIn.Add(want)
+			return buf[:want], nil
+		}
+		n, err := c.srv.stagePut(req.Name, req.Size, src)
+		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		if err != nil {
+			c.srv.c.requestErrors.Add(1)
+			fmt.Fprintf(c.nc, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(c.nc, "OK %d\n", n)
+	case "GET":
+		f, err := c.srv.fs.Open(req.Name, vfs.ReadOnly)
+		if err != nil {
+			c.srv.c.requestErrors.Add(1)
+			fmt.Fprintf(c.nc, "ERR %v\n", err)
+			return
+		}
+		defer f.Close()
+		info, err := f.Stat()
+		if err != nil {
+			c.srv.c.requestErrors.Add(1)
+			fmt.Fprintf(c.nc, "ERR %v\n", err)
+			return
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		if _, err := fmt.Fprintf(c.nc, "OK %d\n", info.Size); err != nil {
+			return
+		}
+		buf := make([]byte, DataChunk)
+		var off int64
+		for off < info.Size {
+			want := int64(len(buf))
+			if info.Size-off < want {
+				want = info.Size - off
+			}
+			n, rerr := f.ReadAt(buf[:want], off)
+			if n > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+				if _, werr := c.nc.Write(buf[:n]); werr != nil {
+					return
+				}
+				off += int64(n)
+				c.srv.c.bytesOut.Add(int64(n))
+			}
+			if rerr != nil && !errors.Is(rerr, io.EOF) {
+				// Mid-stream failure: the v1 framing has no way to signal
+				// an error after the OK header, so the only safe move is
+				// closing the connection short of the promised size.
+				c.srv.c.requestErrors.Add(1)
+				return
+			}
+			if n == 0 {
+				c.srv.c.requestErrors.Add(1)
+				return
+			}
+		}
+		c.srv.c.getsServed.Add(1)
+	case "STAT":
+		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		fmt.Fprintf(c.nc, "%s\n", statLine(c.srv.fs))
+	case "SCRUB":
+		line, err := scrubLine(c.srv.fs)
+		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		if err != nil {
+			c.srv.c.requestErrors.Add(1)
+			fmt.Fprintf(c.nc, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(c.nc, "%s\n", line)
+	case "PING":
+		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		fmt.Fprintf(c.nc, "OK\n")
+	}
+}
+
+// ---- shared request plumbing ----
+
+// stagePut streams a PUT body into a staging temp and renames it over
+// the target only after a clean close, so a failed or abandoned PUT
+// never leaves a partial file visible under the target name. src yields
+// successive body slices and io.EOF at the end of the stream.
+func (s *Server) stagePut(name string, size int64, src func() ([]byte, error)) (int64, error) {
+	if dir, _ := vfs.Split(name); dir != "." {
+		if err := s.fs.MkdirAll(dir); err != nil {
+			return 0, err
+		}
+	}
+	temp := StagingName(name, s.seq.Add(1))
+	f, err := s.fs.Open(temp, vfs.WriteOnly|vfs.Create|vfs.Excl)
+	if err != nil {
+		return 0, err
+	}
+	abort := func(cause error) (int64, error) {
+		s.c.putsAborted.Add(1)
+		// The close error matters on the failure path too: it is where a
+		// pending backend write failure surfaces.
+		if cerr := f.Close(); cerr != nil && !errors.Is(cerr, vfs.ErrClosed) {
+			cause = fmt.Errorf("%w (close: %v)", cause, cerr)
+		}
+		if rerr := s.fs.Remove(temp); rerr != nil {
+			s.cfg.Logf("crfsd: removing staging temp %s: %v", temp, rerr)
+		}
+		return 0, cause
+	}
+	var off int64
+	for {
+		chunk, err := src()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return abort(err)
+		}
+		if off+int64(len(chunk)) > size {
+			return abort(fmt.Errorf("server: PUT %s: body exceeds declared size %d: %w", name, size, ErrProtocol))
+		}
+		if _, werr := f.WriteAt(chunk, off); werr != nil {
+			return abort(fmt.Errorf("server: PUT %s: %w", name, werr))
+		}
+		off += int64(len(chunk))
+	}
+	if off != size {
+		return abort(fmt.Errorf("server: PUT %s: short body: %d of %d bytes: %w", name, off, size, vfs.ErrInvalid))
+	}
+	if err := f.Close(); err != nil {
+		s.c.putsAborted.Add(1)
+		if rerr := s.fs.Remove(temp); rerr != nil {
+			s.cfg.Logf("crfsd: removing staging temp %s: %v", temp, rerr)
+		}
+		return 0, fmt.Errorf("server: PUT %s: %w", name, err)
+	}
+	if err := s.commitStaged(temp, name); err != nil {
+		return 0, err
+	}
+	s.c.putsCommitted.Add(1)
+	return off, nil
+}
+
+// commitStaged renames the staging temp over the target. A destination
+// held open by a concurrent reader refuses the re-key; that is a
+// transient state, so the rename is retried briefly before giving up
+// and discarding the temp.
+func (s *Server) commitStaged(temp, name string) error {
+	var err error
+	for try := 0; try < 50; try++ {
+		if err = s.fs.Rename(temp, name); err == nil {
+			return nil
+		}
+		if !errors.Is(err, core.ErrDestinationOpen) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.c.putsAborted.Add(1)
+	if rerr := s.fs.Remove(temp); rerr != nil {
+		s.cfg.Logf("crfsd: removing staging temp %s: %v", temp, rerr)
+	}
+	return fmt.Errorf("server: commit %s: %w", name, err)
+}
+
+// statLine renders the mount's full Stats tree as the one-line STAT
+// response (identical in both protocol versions).
+func statLine(fs *core.FS) string {
+	st := fs.Stats()
+	return fmt.Sprintf("writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f "+
+		"scanned=%d salvaged=%d repaired=%d salvage_frames_dropped=%d salvage_bytes_truncated=%d failed_chunks=%d "+
+		"compacted=%d compact_frames_dropped=%d compact_bytes_reclaimed=%d "+
+		"frames_verified=%d scrub_corruptions=%d scrub_repaired=%d "+
+		"checksum_verified=%d checksum_failed=%d checksum_skipped=%d",
+		st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits,
+		st.CodecBytesIn, st.CodecBytesOut, st.CompressionRatio(),
+		st.ContainersScanned, st.ContainersSalvaged, st.ContainersRepaired,
+		st.SalvageFramesDropped, st.SalvageBytesTruncated, st.FailedChunks,
+		st.ContainersCompacted, st.CompactFramesDropped, st.CompactBytesReclaimed,
+		st.FramesVerified, st.ScrubCorruptions, st.ScrubRepaired,
+		st.ChecksumVerified, st.ChecksumFailed, st.ChecksumSkipped)
+}
+
+// scrubLine runs a scrub pass and renders its one-line summary.
+func scrubLine(fs *core.FS) (string, error) {
+	rep, err := fs.Scrub(core.ScrubOptions{})
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("OK containers=%d frames=%d bytes=%d corrupt_frames=%d torn=%d clean=%v",
+		rep.Containers, rep.Frames, rep.Bytes, rep.CorruptFrames, rep.TornContainers, rep.Clean()), nil
+}
+
+// readLine reads one newline-terminated line of at most max bytes.
+func readLine(br *bufio.Reader, max int) (string, error) {
+	var sb strings.Builder
+	for sb.Len() < max {
+		b, err := br.ReadByte()
+		if err != nil {
+			return "", err
+		}
+		sb.WriteByte(b)
+		if b == '\n' {
+			return sb.String(), nil
+		}
+	}
+	return "", fmt.Errorf("server: request line exceeds %d bytes: %w", max, ErrProtocol)
+}

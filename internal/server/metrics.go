@@ -1,0 +1,81 @@
+package server
+
+import (
+	"net/http"
+
+	"crfs/internal/metrics"
+)
+
+// Metrics renders the mount's full Stats tree plus the server's own
+// connection counters as Prometheus samples.
+func (s *Server) Metrics() []metrics.PromMetric {
+	st := s.fs.Stats()
+	sv := s.Stats()
+	return []metrics.PromMetric{
+		// Mount: write aggregation.
+		metrics.Counter("crfs_opens_total", "Open calls that returned successfully.", st.Opens),
+		metrics.Counter("crfs_writes_total", "Application WriteAt calls absorbed by aggregation.", st.Writes),
+		metrics.Counter("crfs_reads_total", "Application ReadAt calls.", st.Reads),
+		metrics.Counter("crfs_syncs_total", "Application Sync calls.", st.Syncs),
+		metrics.Counter("crfs_bytes_written_total", "Payload bytes accepted from writers.", st.BytesWritten),
+		metrics.Counter("crfs_bytes_read_total", "Payload bytes returned to readers.", st.BytesRead),
+		metrics.Counter("crfs_chunks_flushed_total", "Chunks handed to the IO work queue.", st.ChunksFlushed),
+		metrics.Counter("crfs_backend_writes_total", "WriteAt calls issued to the backend by IO workers.", st.BackendWrites),
+		metrics.Counter("crfs_backend_bytes_total", "Bytes written to the backend.", st.BackendBytes),
+		metrics.Counter("crfs_pool_waits_total", "Chunk allocations that blocked on the pool (backpressure).", st.PoolWaits),
+		metrics.Gauge("crfs_aggregation_ratio", "Application writes per backend write.", st.AggregationRatio()),
+		// Mount: codec.
+		metrics.Counter("crfs_codec_bytes_in_total", "Raw chunk bytes handed to the codec.", st.CodecBytesIn),
+		metrics.Counter("crfs_codec_bytes_out_total", "Framed bytes written to the backend.", st.CodecBytesOut),
+		metrics.Counter("crfs_frames_total", "Frames appended to containers.", st.Frames),
+		metrics.Counter("crfs_raw_frames_total", "Frames stored raw by the incompressible-data bailout.", st.RawFrames),
+		metrics.Gauge("crfs_compression_ratio", "Raw bytes per framed backend byte.", st.CompressionRatio()),
+		// Mount: read path and prefetch.
+		metrics.Counter("crfs_reads_from_buffer_total", "ReadAt calls served at least partially from buffered data.", st.ReadsFromBuffer),
+		metrics.Counter("crfs_read_drains_avoided_total", "Reads that arrived while the pipeline was dirty and did not stall.", st.ReadDrainsAvoided),
+		metrics.Counter("crfs_prefetch_hits_total", "Base-read segments served from the read-ahead cache.", st.PrefetchHits),
+		metrics.Counter("crfs_prefetch_misses_total", "Base-read segments that fell back to a synchronous fetch.", st.PrefetchMisses),
+		metrics.Counter("crfs_prefetch_wasted_total", "Prefetched extents discarded unread.", st.PrefetchWasted),
+		metrics.Counter("crfs_prefetch_bytes_total", "Bytes published into read-ahead caches.", st.PrefetchedBytes),
+		// Mount: recovery.
+		metrics.Counter("crfs_failed_chunks_total", "Aggregation chunks whose backend write failed.", st.FailedChunks),
+		metrics.Counter("crfs_containers_scanned_total", "Opens that probed a frame container.", st.ContainersScanned),
+		metrics.Counter("crfs_containers_salvaged_total", "Containers whose torn tail was dropped at open.", st.ContainersSalvaged),
+		metrics.Counter("crfs_containers_repaired_total", "Salvaged containers truncated to the intact prefix.", st.ContainersRepaired),
+		metrics.Counter("crfs_salvage_frames_dropped_total", "Frames lost past the tears of salvaged containers.", st.SalvageFramesDropped),
+		metrics.Counter("crfs_salvage_bytes_truncated_total", "Container bytes dropped past intact prefixes.", st.SalvageBytesTruncated),
+		// Mount: compaction and scrub.
+		metrics.Counter("crfs_containers_compacted_total", "Containers rewritten by the compaction engine.", st.ContainersCompacted),
+		metrics.Counter("crfs_compact_frames_dropped_total", "Dead frames dropped by compaction rewrites.", st.CompactFramesDropped),
+		metrics.Counter("crfs_compact_bytes_reclaimed_total", "Backend bytes reclaimed by compaction.", st.CompactBytesReclaimed),
+		metrics.Counter("crfs_frames_verified_total", "Frames decode-verified intact by the scrub engine.", st.FramesVerified),
+		metrics.Counter("crfs_scrub_corruptions_total", "Frames that failed scrub verification.", st.ScrubCorruptions),
+		metrics.Counter("crfs_scrub_repaired_total", "Containers truncated by scrub repair.", st.ScrubRepaired),
+		// Mount: integrity.
+		metrics.Counter("crfs_checksum_verified_total", "Frame payloads whose CRC32-C matched at decode time.", st.ChecksumVerified),
+		metrics.Counter("crfs_checksum_failed_total", "Frame payloads that failed their checksum (proven bit rot).", st.ChecksumFailed),
+		metrics.Counter("crfs_checksum_skipped_total", "Decoded payloads that carried no checksum (v1 frames).", st.ChecksumSkipped),
+		// Server.
+		metrics.Counter("crfsd_conns_accepted_total", "Accepted connections, both protocol versions.", sv.ConnsAccepted),
+		metrics.Gauge("crfsd_conns_active", "Connections currently being served.", float64(sv.ConnsActive)),
+		metrics.Counter("crfsd_conns_v1_total", "Connections served with the legacy v1 protocol.", sv.ConnsV1),
+		metrics.Counter("crfsd_accept_retries_total", "Accept-loop errors survived with backoff.", sv.AcceptRetries),
+		metrics.Counter("crfsd_requests_total", "Requests started, any verb and version.", sv.Requests),
+		metrics.Counter("crfsd_request_errors_total", "Requests that failed with an error response.", sv.RequestErrors),
+		metrics.Counter("crfsd_protocol_errors_total", "Connections torn down for wire violations.", sv.ProtocolErrors),
+		metrics.Counter("crfsd_inflight_capped_total", "Requests rejected by the per-client in-flight cap.", sv.InFlightCapped),
+		metrics.Counter("crfsd_puts_committed_total", "PUTs whose staged file was renamed visible.", sv.PutsCommitted),
+		metrics.Counter("crfsd_puts_aborted_total", "PUTs whose staging temp was discarded.", sv.PutsAborted),
+		metrics.Counter("crfsd_gets_served_total", "GETs streamed to completion.", sv.GetsServed),
+		metrics.Counter("crfsd_bytes_in_total", "Body payload bytes received from clients.", sv.BytesIn),
+		metrics.Counter("crfsd_bytes_out_total", "Body payload bytes sent to clients.", sv.BytesOut),
+	}
+}
+
+// MetricsHandler serves the Prometheus text exposition of Metrics.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.WritePrometheus(w, s.Metrics())
+	})
+}

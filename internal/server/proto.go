@@ -1,0 +1,244 @@
+// Package server implements crfsd's network face: the protocol-v2
+// framed, multiplexed checkpoint transfer protocol and the legacy
+// protocol-v1 one-shot line protocol, served over persistent TCP
+// connections against a CRFS mount.
+//
+// # Protocol v2
+//
+// A v2 session begins with the client hello line "CRFS/2\n". The server
+// answers with a hello frame advertising its limits, and from then on
+// both directions carry binary frames:
+//
+//	offset 0  u8  type   (hello/req/data/end/err)
+//	offset 1  u8  flags  (must be 0)
+//	offset 2  u16 reserved (must be 0)
+//	offset 4  u32 request id (big-endian; 0 is the connection itself)
+//	offset 8  u32 payload length (big-endian, <= MaxFramePayload)
+//	offset 12 payload bytes
+//
+// A request is a req frame whose payload is a verb line — "PUT name
+// size", "GET name", "STAT", "SCRUB", "PING" — under a client-chosen
+// request id that must not collide with one still in flight. A PUT body
+// is streamed as data frames tagged with the request id, closed by an
+// empty end frame; the server commits the staged file and answers with
+// an end frame carrying "OK <bytes>". A GET answer is data frames
+// followed by an end frame "OK <bytes>"; a failure at any point — before
+// or after body bytes have been sent — is an err frame carrying the
+// error text, so error text can never be parsed as file bytes (the
+// protocol-v1 GET bug this format exists to fix). Requests on one
+// connection are handled concurrently up to the server's advertised
+// in-flight cap.
+//
+// Anything else on the first line is served as a protocol-v1 request
+// (one request per connection, line header, raw body) and the
+// connection is closed afterwards.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"crfs/internal/vfs"
+)
+
+// HelloLine is the protocol-v2 client hello, sent as the first bytes of
+// a connection (newline included).
+const HelloLine = "CRFS/2\n"
+
+// Frame types.
+const (
+	// FrameHello is the server's connection greeting: request id 0,
+	// payload "crfsd/2 maxinflight=<n> maxframe=<n>".
+	FrameHello = 0x01
+	// FrameReq opens a request: payload is the verb line.
+	FrameReq = 0x02
+	// FrameData carries body bytes of a streaming PUT (client to
+	// server) or GET (server to client).
+	FrameData = 0x03
+	// FrameEnd closes a body (empty payload, client side) or completes
+	// a request successfully (server side, payload "OK ...").
+	FrameEnd = 0x04
+	// FrameErr fails the tagged request with the payload as error text;
+	// with request id 0 it reports a fatal connection-level error and
+	// the connection closes after it.
+	FrameErr = 0x05
+)
+
+// Wire limits.
+const (
+	// HeaderLen is the fixed frame header size.
+	HeaderLen = 12
+	// MaxFramePayload bounds one frame's payload; larger data is split
+	// across frames. The bound keeps per-request buffering small, so a
+	// connection's memory cost is capped no matter the declared sizes.
+	MaxFramePayload = 1 << 20
+	// DataChunk is the payload size senders use for body data frames.
+	DataChunk = 64 << 10
+)
+
+// ErrProtocol reports a violation of the frame format itself (bad
+// header, oversized payload, data for an unknown request): the
+// connection is no longer in a known state and is closed.
+var ErrProtocol = errors.New("protocol error")
+
+// Header is a decoded frame header.
+type Header struct {
+	Type  uint8
+	ReqID uint32
+	Len   uint32
+}
+
+// PutHeader encodes h into buf, which must be at least HeaderLen bytes.
+func PutHeader(buf []byte, h Header) {
+	buf[0] = h.Type
+	buf[1] = 0
+	binary.BigEndian.PutUint16(buf[2:], 0)
+	binary.BigEndian.PutUint32(buf[4:], h.ReqID)
+	binary.BigEndian.PutUint32(buf[8:], h.Len)
+}
+
+// ParseFrameHeader decodes and validates a frame header.
+func ParseFrameHeader(buf []byte) (Header, error) {
+	h := Header{
+		Type:  buf[0],
+		ReqID: binary.BigEndian.Uint32(buf[4:]),
+		Len:   binary.BigEndian.Uint32(buf[8:]),
+	}
+	if h.Type < FrameHello || h.Type > FrameErr {
+		return h, fmt.Errorf("server: unknown frame type %#x: %w", h.Type, ErrProtocol)
+	}
+	if buf[1] != 0 || binary.BigEndian.Uint16(buf[2:]) != 0 {
+		return h, fmt.Errorf("server: nonzero reserved frame bytes: %w", ErrProtocol)
+	}
+	if h.Len > MaxFramePayload {
+		return h, fmt.Errorf("server: frame payload %d exceeds cap %d: %w", h.Len, MaxFramePayload, ErrProtocol)
+	}
+	return h, nil
+}
+
+// WriteFrame writes one frame (header + payload) to w.
+func WriteFrame(w io.Writer, typ uint8, reqID uint32, payload []byte) error {
+	var hdr [HeaderLen]byte
+	PutHeader(hdr[:], Header{Type: typ, ReqID: reqID, Len: uint32(len(payload))})
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from r, appending the payload to buf[:0]
+// (which is grown as needed) and returning the header and payload.
+func ReadFrame(r io.Reader, buf []byte) (Header, []byte, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Header{}, nil, err
+	}
+	h, err := ParseFrameHeader(hdr[:])
+	if err != nil {
+		return h, nil, err
+	}
+	if cap(buf) < int(h.Len) {
+		buf = make([]byte, h.Len)
+	}
+	buf = buf[:h.Len]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return h, nil, fmt.Errorf("server: short frame payload: %w", err)
+	}
+	return h, buf, nil
+}
+
+// Request is a parsed verb line.
+type Request struct {
+	Verb string // "PUT", "GET", "STAT", "SCRUB", "PING"
+	Name string // PUT/GET target
+	Size int64  // PUT declared body size
+}
+
+// ParseRequest parses and validates a verb line (shared by both
+// protocol versions; the v1 line arrives without a frame around it).
+func ParseRequest(line string) (Request, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 0 {
+		return Request{}, fmt.Errorf("server: empty request: %w", vfs.ErrInvalid)
+	}
+	req := Request{Verb: fields[0]}
+	switch req.Verb {
+	case "PUT":
+		if len(fields) != 3 {
+			return Request{}, fmt.Errorf("server: usage: PUT name size: %w", vfs.ErrInvalid)
+		}
+		size, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || size < 0 {
+			return Request{}, fmt.Errorf("server: bad PUT size %q: %w", fields[2], vfs.ErrInvalid)
+		}
+		req.Name, req.Size = fields[1], size
+	case "GET":
+		if len(fields) != 2 {
+			return Request{}, fmt.Errorf("server: usage: GET name: %w", vfs.ErrInvalid)
+		}
+		req.Name = fields[1]
+	case "STAT", "SCRUB", "PING":
+		if len(fields) != 1 {
+			return Request{}, fmt.Errorf("server: %s takes no arguments: %w", req.Verb, vfs.ErrInvalid)
+		}
+	default:
+		return Request{}, fmt.Errorf("server: unknown verb %q: %w", req.Verb, vfs.ErrInvalid)
+	}
+	if req.Name != "" {
+		if err := ValidateName(req.Name); err != nil {
+			return Request{}, err
+		}
+	}
+	return req, nil
+}
+
+// ValidateName rejects transfer names the store must not accept: names
+// that escape the backing directory, are not in canonical (clean) form,
+// or collide with the server's staging temps.
+func ValidateName(name string) error {
+	if name == "" || name == "." {
+		return fmt.Errorf("server: empty name: %w", vfs.ErrInvalid)
+	}
+	if vfs.Clean(name) != name || strings.HasPrefix(name, "/") ||
+		name == ".." || strings.HasPrefix(name, "../") {
+		return fmt.Errorf("server: non-canonical name %q: %w", name, vfs.ErrInvalid)
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("server: control character in name: %w", vfs.ErrInvalid)
+		}
+	}
+	if strings.HasSuffix(name, StagingSuffix) {
+		return fmt.Errorf("server: name %q collides with the staging namespace: %w", name, vfs.ErrInvalid)
+	}
+	return nil
+}
+
+// StagingSuffix marks a PUT's staging temp. A PUT streams into
+// "<name><StagingMid><seq><StagingSuffix>" and is renamed over <name>
+// only after a clean close, so a failed PUT never leaves a partial file
+// visible under the target; SweepStaging removes crash leftovers.
+const (
+	StagingSuffix = ".put~"
+	StagingMid    = ".crfsd-"
+)
+
+// StagingName builds the staging temp path for a PUT of name under a
+// server-unique sequence number.
+func StagingName(name string, seq uint64) string {
+	return name + StagingMid + strconv.FormatUint(seq, 10) + StagingSuffix
+}
+
+// IsStagingName reports whether path is a PUT staging temp.
+func IsStagingName(path string) bool {
+	return strings.HasSuffix(path, StagingSuffix) && strings.Contains(path, StagingMid)
+}
