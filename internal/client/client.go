@@ -37,6 +37,8 @@ type Client struct {
 	sem         chan struct{}
 	ioTimeout   time.Duration
 
+	done chan struct{} // closed once by fail(); wakes every waiter
+
 	mu      sync.Mutex
 	nextID  uint32
 	pending map[uint32]chan frame
@@ -73,6 +75,7 @@ func Dial(addr string, cfg Config) (*Client, error) {
 		nc:        nc,
 		br:        bufio.NewReaderSize(nc, 64<<10),
 		ioTimeout: cfg.IOTimeout,
+		done:      make(chan struct{}),
 		pending:   make(map[uint32]chan frame),
 	}
 	nc.SetDeadline(time.Now().Add(cfg.DialTimeout))
@@ -118,7 +121,10 @@ func (c *Client) Close() error {
 	return c.nc.Close()
 }
 
-// fail marks the session dead and wakes every pending request.
+// fail marks the session dead and wakes every pending request. The
+// per-request channels are never closed — the reader may be blocked
+// sending on one concurrently, and a send on a closed channel panics —
+// waiters wake via the done channel instead.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -126,10 +132,7 @@ func (c *Client) fail(err error) {
 		return
 	}
 	c.err = err
-	for id, ch := range c.pending {
-		close(ch)
-		delete(c.pending, id)
-	}
+	close(c.done)
 }
 
 // reader is the demux goroutine: it routes every incoming frame to the
@@ -157,7 +160,11 @@ func (c *Client) reader() {
 			// A response for a request we already gave up on; drop it.
 			continue
 		}
-		ch <- frame{typ: hdr.Type, payload: append([]byte(nil), payload...)}
+		select {
+		case ch <- frame{typ: hdr.Type, payload: append([]byte(nil), payload...)}:
+		case <-c.done:
+			return
+		}
 	}
 }
 
@@ -209,21 +216,39 @@ func (c *Client) writeFrame(typ uint8, id uint32, payload []byte) error {
 	return server.WriteFrame(c.nc, typ, id, payload)
 }
 
+// recv blocks for the next frame routed to ch. When the session dies it
+// still prefers a frame the reader already delivered — a response that
+// raced Close is a response, not an error.
+func (c *Client) recv(ch chan frame) (frame, error) {
+	select {
+	case f := <-ch:
+		return f, nil
+	case <-c.done:
+		select {
+		case f := <-ch:
+			return f, nil
+		default:
+			return frame{}, c.sessionErr()
+		}
+	}
+}
+
 // wait blocks for the request's terminal frame, returning the payload
 // of the end frame or the error frame's text as an error.
 func (c *Client) wait(id uint32, ch chan frame) (string, error) {
 	defer c.forget(id)
-	for f := range ch {
-		switch f.typ {
-		case server.FrameEnd:
-			return string(f.payload), nil
-		case server.FrameErr:
-			return "", &RemoteError{Msg: string(f.payload)}
-		default:
-			return "", fmt.Errorf("client: unexpected frame type %#x: %w", f.typ, server.ErrProtocol)
-		}
+	f, err := c.recv(ch)
+	if err != nil {
+		return "", err
 	}
-	return "", c.sessionErr()
+	switch f.typ {
+	case server.FrameEnd:
+		return string(f.payload), nil
+	case server.FrameErr:
+		return "", &RemoteError{Msg: string(f.payload)}
+	default:
+		return "", fmt.Errorf("client: unexpected frame type %#x: %w", f.typ, server.ErrProtocol)
+	}
 }
 
 func (c *Client) sessionErr() error {
@@ -244,6 +269,11 @@ func (c *Client) release() { <-c.sem }
 // stages the body and commits it only on clean completion, so a failed
 // Put never leaves a partial file visible.
 func (c *Client) Put(name string, r io.Reader, size int64) error {
+	// Validate before any wire traffic: a bad name (a space would corrupt
+	// the verb line) must fail this one request, not the whole session.
+	if err := server.ValidateName(name); err != nil {
+		return fmt.Errorf("client: PUT: %w", err)
+	}
 	c.acquire()
 	defer c.release()
 	id, ch, err := c.begin(fmt.Sprintf("PUT %s %d", name, size))
@@ -256,17 +286,16 @@ func (c *Client) Put(name string, r io.Reader, size int64) error {
 		// An early error response (cap exceeded, draining, bad name) means
 		// the server is discarding the body: stop streaming, close it out.
 		select {
-		case f, ok := <-ch:
-			if !ok {
-				c.forget(id)
-				return c.sessionErr()
-			}
+		case f := <-ch:
 			c.forget(id)
 			if f.typ == server.FrameErr {
 				c.writeFrame(server.FrameEnd, id, nil)
 				return &RemoteError{Msg: string(f.payload)}
 			}
 			return fmt.Errorf("client: PUT %s: early frame type %#x: %w", name, f.typ, server.ErrProtocol)
+		case <-c.done:
+			c.forget(id)
+			return c.sessionErr()
 		default:
 		}
 		want := int64(len(buf))
@@ -304,6 +333,9 @@ func (c *Client) Put(name string, r io.Reader, size int64) error {
 // w and the error reports the failure — error text is never written
 // into w as content.
 func (c *Client) Get(name string, w io.Writer) (int64, error) {
+	if err := server.ValidateName(name); err != nil {
+		return 0, fmt.Errorf("client: GET: %w", err)
+	}
 	c.acquire()
 	defer c.release()
 	id, ch, err := c.begin("GET " + name)
@@ -312,7 +344,11 @@ func (c *Client) Get(name string, w io.Writer) (int64, error) {
 	}
 	defer c.forget(id)
 	var n int64
-	for f := range ch {
+	for {
+		f, err := c.recv(ch)
+		if err != nil {
+			return n, err
+		}
 		switch f.typ {
 		case server.FrameData:
 			wn, werr := w.Write(f.payload)
@@ -336,7 +372,6 @@ func (c *Client) Get(name string, w io.Writer) (int64, error) {
 			return n, fmt.Errorf("client: GET %s: unexpected frame type %#x: %w", name, f.typ, server.ErrProtocol)
 		}
 	}
-	return n, c.sessionErr()
 }
 
 // Stat returns the server's one-line stats summary.

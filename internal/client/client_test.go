@@ -108,6 +108,82 @@ func TestPutBodySourceFailurePoisonsSession(t *testing.T) {
 	}
 }
 
+// blockingSink passes its first Write, then signals stalled and blocks
+// until released, failing the write that was in flight.
+type blockingSink struct {
+	writes   int
+	stalled  chan struct{}
+	released chan struct{}
+}
+
+func (w *blockingSink) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > 1 {
+		close(w.stalled)
+		<-w.released
+		return 0, errors.New("sink full")
+	}
+	return len(p), nil
+}
+
+// TestCloseDuringStreamingGetDoesNotPanic: Close races an in-flight
+// frame delivery — the GET's sink has stalled, so the reader is parked
+// delivering to the request's full channel when another goroutine tears
+// the session down. fail() used to close that channel under the
+// reader's parked send — a send-on-closed-channel panic that killed the
+// whole process. Now the session dies cleanly: Get reports an error,
+// later calls report the session error, nothing panics.
+func TestCloseDuringStreamingGetDoesNotPanic(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Config{IOTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// 4 MiB = 64 data frames, far beyond the per-request channel buffer,
+	// so the server is still streaming when the sink stalls.
+	body := make([]byte, 4<<20)
+	if err := c.Put("big", bytes.NewReader(body), int64(len(body))); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	sink := &blockingSink{stalled: make(chan struct{}), released: make(chan struct{})}
+	go func() {
+		<-sink.stalled
+		// Give the reader time to fill the request channel and park on
+		// the delivery of the next frame, then yank the session.
+		time.Sleep(100 * time.Millisecond)
+		c.Close()
+		close(sink.released)
+	}()
+	if _, err := c.Get("big", sink); err == nil {
+		t.Fatal("Get survived a concurrent Close")
+	}
+	if err := c.Ping(); err == nil {
+		t.Fatal("session still usable after Close")
+	}
+}
+
+// TestBadNameRejectedClientSide: a name that cannot round-trip the
+// space-separated verb line is refused before any wire traffic, so the
+// request fails without corrupting the multiplexed session.
+func TestBadNameRejectedClientSide(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr, client.Config{IOTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Put("has space", bytes.NewReader(nil), 0); err == nil {
+		t.Fatal("PUT with space in name succeeded")
+	}
+	if _, err := c.Get("has space", io.Discard); err == nil {
+		t.Fatal("GET with space in name succeeded")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("session poisoned by client-side rejection: %v", err)
+	}
+}
+
 func TestServerErrorText(t *testing.T) {
 	addr := startServer(t)
 	c, err := client.Dial(addr, client.Config{IOTimeout: 10 * time.Second})

@@ -57,6 +57,7 @@ type outFrame struct {
 // inReq is one in-flight v2 request's routing state.
 type inReq struct {
 	body       chan bodyItem
+	abort      chan struct{} // closed by complete(); unblocks a routeBody send after the handler quit
 	expectBody bool
 	bodyDone   bool
 }
@@ -302,7 +303,10 @@ func (c *srvConn) handleReq(id uint32, line string) bool {
 	if reject != nil {
 		// A refused PUT still has a body on the wire: remember the id so
 		// its data frames are drained and discarded rather than fataled.
-		if perr == nil && req.Verb == "PUT" {
+		// The raw verb is checked, not the parsed request, so even an
+		// unparseable PUT line (bad size, a name with a space) gets its
+		// streamed body drained instead of fataling the session.
+		if f := strings.Fields(line); len(f) > 0 && f[0] == "PUT" {
 			if len(c.rejected) >= maxRejectedIDs {
 				c.mu.Unlock()
 				c.fatal("server: too many rejected requests with pending bodies")
@@ -317,6 +321,7 @@ func (c *srvConn) handleReq(id uint32, line string) bool {
 	r := &inReq{expectBody: req.Verb == "PUT"}
 	if r.expectBody {
 		r.body = make(chan bodyItem, 4)
+		r.abort = make(chan struct{})
 		c.expectBody++
 	}
 	c.inFlight[id] = r
@@ -366,6 +371,10 @@ func (c *srvConn) routeBody(id uint32, data []byte, end bool) bool {
 	select {
 	case r.body <- item:
 		return true
+	case <-r.abort:
+		// The handler retired this request before the body finished;
+		// complete() registered the id for draining, so drop the frame.
+		return true
 	case <-c.dead:
 		return false
 	}
@@ -378,14 +387,20 @@ func (c *srvConn) complete(id uint32, typ uint8, payload []byte) {
 	c.mu.Lock()
 	r := c.inFlight[id]
 	delete(c.inFlight, id)
-	if r != nil && r.expectBody && !r.bodyDone {
-		// The handler gave up before the body finished (e.g. an early
-		// write error): drain the remaining frames into the void.
-		c.expectBody--
-		r.bodyDone = true
-		if len(c.rejected) < maxRejectedIDs {
+	if r != nil && r.body != nil {
+		if !r.bodyDone {
+			// The handler gave up before the body finished (e.g. an early
+			// write error): drain the remaining frames into the void. The
+			// id is registered unconditionally — the rejected cap guards
+			// against clients streaming bodies for refused requests, not
+			// against requests the server itself admitted and aborted.
+			c.expectBody--
+			r.bodyDone = true
 			c.rejected[id] = true
 		}
+		// Unblock a reader stuck delivering a body frame to a handler
+		// that is no longer listening (the body queue may be full).
+		close(r.abort)
 	}
 	c.pendingResp++
 	c.mu.Unlock()

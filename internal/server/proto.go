@@ -41,6 +41,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"crfs/internal/vfs"
 )
@@ -213,8 +214,11 @@ func ValidateName(name string) error {
 		return fmt.Errorf("server: non-canonical name %q: %w", name, vfs.ErrInvalid)
 	}
 	for _, r := range name {
-		if r < 0x20 || r == 0x7f {
-			return fmt.Errorf("server: control character in name: %w", vfs.ErrInvalid)
+		// Whitespace can never round-trip the space-separated verb line,
+		// so it is rejected here — which also lets the client refuse such
+		// a name before putting anything on the wire.
+		if r < 0x20 || r == 0x7f || unicode.IsSpace(r) {
+			return fmt.Errorf("server: whitespace or control character in name: %w", vfs.ErrInvalid)
 		}
 	}
 	if strings.HasSuffix(name, StagingSuffix) {

@@ -476,6 +476,53 @@ func TestFailedPutPreservesPreviousVersion(t *testing.T) {
 	}
 }
 
+// TestAbortedPutMidBodyDoesNotWedge: the PUT handler aborts mid-body —
+// the sixth chunk exceeds the declared size — while the client keeps
+// blasting the rest of the body, so the cap-4 body queue is full when
+// the handler dies. The reader used to deadlock delivering to the dead
+// handler, wedging the connection and permanently leaking its
+// connection slot; now the remaining body is drained and the connection
+// stays usable.
+func TestAbortedPutMidBodyDoesNotWedge(t *testing.T) {
+	e := newEnv(t, nil, server.Config{})
+	r := dialRaw(t, e.addr)
+	const size = 5*(64<<10) + 1000 // aborts on the sixth 64 KiB frame
+	r.send(server.FrameReq, 1, []byte(fmt.Sprintf("PUT wedge %d", size)))
+	for i := 0; i < 20; i++ {
+		r.send(server.FrameData, 1, make([]byte, 64<<10))
+	}
+	hdr, payload := r.recv()
+	if hdr.Type != server.FrameErr || hdr.ReqID != 1 {
+		t.Fatalf("aborted PUT: type %#x id %d %q", hdr.Type, hdr.ReqID, payload)
+	}
+	r.send(server.FrameEnd, 1, nil)
+	r.send(server.FrameReq, 2, []byte("PING"))
+	if hdr, _ := r.recv(); hdr.Type != server.FrameEnd || hdr.ReqID != 2 {
+		t.Fatalf("ping after aborted PUT: type %#x id %d", hdr.Type, hdr.ReqID)
+	}
+	waitForCleanStore(t, e, "wedge")
+}
+
+// TestUnparseablePutLineBodyDrained: a PUT whose verb line fails to
+// parse (here: a name with a space) is refused, but the body the client
+// streams for it must be drained, not treated as frames for an unknown
+// request — that fataled the whole multiplexed session.
+func TestUnparseablePutLineBodyDrained(t *testing.T) {
+	e := newEnv(t, nil, server.Config{})
+	r := dialRaw(t, e.addr)
+	r.send(server.FrameReq, 1, []byte("PUT bad name 16"))
+	hdr, _ := r.recv()
+	if hdr.Type != server.FrameErr || hdr.ReqID != 1 {
+		t.Fatalf("unparseable PUT: type %#x id %d", hdr.Type, hdr.ReqID)
+	}
+	r.send(server.FrameData, 1, make([]byte, 16))
+	r.send(server.FrameEnd, 1, nil)
+	r.send(server.FrameReq, 2, []byte("PING"))
+	if hdr, _ := r.recv(); hdr.Type != server.FrameEnd || hdr.ReqID != 2 {
+		t.Fatalf("ping after unparseable PUT: type %#x id %d", hdr.Type, hdr.ReqID)
+	}
+}
+
 func TestInFlightCap(t *testing.T) {
 	e := newEnv(t, nil, server.Config{MaxInFlight: 1})
 	r := dialRaw(t, e.addr)
