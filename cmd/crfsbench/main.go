@@ -59,6 +59,18 @@
 //	crfsbench -server 127.0.0.1:9000 -clients 32 -ops 64 -objsize 1048576
 //	crfsbench -server 127.0.0.1:9000 -stall -stall-timeout 20s
 //
+// -nodes runs the striped-store sweep: N in-process daemons over
+// latency-injected backends, a checkpoint striped and restored at every
+// cluster size 1..N (the run fails unless the 3-node restore beats
+// single-node by >= 2x when -delay > 0), then a corrupt-replica pass
+// (restore must stay byte-identical, scrub must repair to zero residual)
+// and a kill-node pass (restore must fail over to surviving replicas).
+// -stripe-op runs one striped operation against real daemons instead,
+// with -server holding the comma-separated node addresses:
+//
+//	crfsbench -nodes 3 -objsize 67108864 -stripe-chunk 1048576 -delay 2ms
+//	crfsbench -server :9000,:9001,:9002 -stripe-op put -objsize 8388608
+//
 // -json switches every -real/-restart/-crash/-compact/-server scenario
 // to machine-readable output: one JSON object per scenario on stdout,
 // so perf trajectories can be captured as BENCH_*.json.
@@ -71,12 +83,14 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"strings"
 	"time"
 
 	crfs "crfs"
 	"crfs/internal/crashfs"
 	"crfs/internal/experiments"
 	"crfs/internal/memfs"
+	"crfs/internal/stripe"
 )
 
 func main() {
@@ -103,11 +117,25 @@ func main() {
 	putFrac := flag.Float64("putfrac", 0.5, "with -server: fraction of operations that are PUTs")
 	stall := flag.Bool("stall", false, "with -server: check the daemon reaps a client that stalls mid-PUT")
 	stallTimeout := flag.Duration("stall-timeout", 30*time.Second, "with -server -stall: how long to wait for the reap")
+	nodes := flag.Int("nodes", 0, "striped-store hermetic sweep over this many in-process daemons (uses -objsize, -stripe-chunk, -replicas, -delay)")
+	stripeOp := flag.String("stripe-op", "", "with comma-separated -server addrs: one striped operation against real daemons (put|restore|scrub)")
+	stripeChunk := flag.Int64("stripe-chunk", stripe.DefaultChunkSize, "stripe chunk size for striped modes")
+	replicas := flag.Int("replicas", stripe.DefaultReplicas, "chunk replication factor for striped modes")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per scenario instead of human-readable text")
 	flag.Parse()
 
 	emit := newEmitter(*jsonOut)
 	switch {
+	case *nodes > 0:
+		if err := stripeSweep(emit, *nodes, *objSize, *stripeChunk, *replicas, *delay); err != nil {
+			fatal(err)
+		}
+		return
+	case *stripeOp != "":
+		if err := stripeRealBench(emit, strings.Split(*serverAddr, ","), *stripeOp, *objSize, *stripeChunk, *replicas); err != nil {
+			fatal(err)
+		}
+		return
 	case *serverAddr != "":
 		var err error
 		if *stall {

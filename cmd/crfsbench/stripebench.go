@@ -1,0 +1,408 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	crfs "crfs"
+	"crfs/internal/memfs"
+	"crfs/internal/server"
+	"crfs/internal/stripe"
+)
+
+// stripeNode is one in-process crfsd daemon used by the hermetic striped
+// sweep: a real TCP listener over an in-memory mount whose backend reads
+// pay a synthetic latency, so the benchmark exercises the full protocol
+// stack while the per-node read cost stays controlled.
+type stripeNode struct {
+	addr string
+	fs   *crfs.FS
+	srv  *server.Server
+}
+
+// stop kills the daemon hard: the short deadline force-closes any
+// connection still open, the shape of a crashed benefactor.
+func (n *stripeNode) stop() {
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	n.srv.Shutdown(ctx)
+	cancel()
+	n.fs.Unmount()
+}
+
+func startStripeNode(delay time.Duration) (*stripeNode, error) {
+	fs, err := crfs.Mount(memfs.New(memfs.WithReadDelay(delay)), crfs.Options{ChunkSize: 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(fs, server.Config{
+		ReadTimeout: 30 * time.Second, WriteTimeout: 30 * time.Second, IdleTimeout: time.Minute,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fs.Unmount()
+		return nil, err
+	}
+	go srv.Serve(ln)
+	return &stripeNode{addr: ln.Addr().String(), fs: fs, srv: srv}, nil
+}
+
+// compareWriter verifies a restore byte-for-byte against the expected
+// payload as it streams, so a full extra copy is never buffered.
+type compareWriter struct {
+	want []byte
+	off  int64
+}
+
+func (c *compareWriter) Write(p []byte) (int, error) {
+	end := c.off + int64(len(p))
+	if end > int64(len(c.want)) || !bytes.Equal(p, c.want[c.off:end]) {
+		return 0, fmt.Errorf("restored bytes differ from checkpoint at offset %d", c.off)
+	}
+	c.off = end
+	return len(p), nil
+}
+
+// stripeSweep is the hermetic striped-store benchmark: it spins up nNodes
+// in-process crfsd daemons over latency-injected backends and, for each
+// cluster size n = 1..nNodes, stripes one checkpoint across the first n
+// nodes and times the restore. With delay > 0 the run fails unless the
+// 3-node restore is at least 2x faster than single-node — the paper's
+// core scaling claim, now enforced against real TCP daemons.
+//
+// After the sweep, two fault passes run on the full cluster: every chunk
+// replica on one node is silently corrupted (the restore must stay
+// byte-identical and scrub must repair to zero residual), then one
+// daemon is killed outright (the restore must fail over to the surviving
+// replicas).
+func stripeSweep(emit *emitter, nNodes int, objSize, chunkSize int64, replicas int, delay time.Duration) error {
+	if nNodes < 1 {
+		return fmt.Errorf("crfsbench: -nodes must be >= 1")
+	}
+	if objSize < chunkSize {
+		return fmt.Errorf("crfsbench: -objsize %d smaller than one stripe chunk (%d); the sweep would not stripe", objSize, chunkSize)
+	}
+	daemons := make([]*stripeNode, 0, nNodes)
+	defer func() {
+		for _, d := range daemons {
+			if d != nil {
+				d.stop()
+			}
+		}
+	}()
+	for i := 0; i < nNodes; i++ {
+		d, err := startStripeNode(delay)
+		if err != nil {
+			return err
+		}
+		daemons = append(daemons, d)
+	}
+
+	// Scaling sweep: restore makespan at each cluster size.
+	restoreSecs := make([]float64, nNodes+1)
+	for n := 1; n <= nNodes; n++ {
+		secs, err := stripePoint(emit, daemons[:n], objSize, chunkSize, replicas, delay)
+		if err != nil {
+			return err
+		}
+		restoreSecs[n] = secs
+	}
+	if delay > 0 && nNodes >= 3 {
+		speedup := restoreSecs[1] / restoreSecs[3]
+		if !emit.json {
+			fmt.Printf("striped restore speedup at 3 nodes over 1: %.2fx\n", speedup)
+		}
+		if speedup < 2.0 {
+			return fmt.Errorf("crfsbench: 3-node striped restore speedup %.2fx, want >= 2x on a latency-injected backend", speedup)
+		}
+	}
+
+	// Fault passes need a second clean copy of every chunk to fall back to.
+	if nNodes < 2 || replicas < 2 {
+		if !emit.json {
+			fmt.Println("skipping fault passes: need -nodes >= 2 and -replicas >= 2")
+		}
+		return nil
+	}
+	return stripeFaults(emit, daemons, objSize, chunkSize, replicas)
+}
+
+// stripePoint runs one sweep point: stripe a checkpoint over the given
+// daemons, time the restore, verify it byte-for-byte, and clean up.
+func stripePoint(emit *emitter, daemons []*stripeNode, objSize, chunkSize int64, replicas int, delay time.Duration) (float64, error) {
+	s, nodes, err := dialStore(daemons, chunkSize, replicas)
+	if err != nil {
+		return 0, err
+	}
+	defer closeNodes(nodes)
+	n := len(daemons)
+	name := fmt.Sprintf("bench/sweep%d.ckpt", n)
+	body := payload(name, 1, objSize)
+
+	t0 := time.Now()
+	if err := s.Put(name, bytes.NewReader(body), objSize); err != nil {
+		return 0, fmt.Errorf("stripe sweep n=%d: put: %w", n, err)
+	}
+	putSecs := time.Since(t0).Seconds()
+
+	cw := &compareWriter{want: body}
+	t0 = time.Now()
+	got, err := s.Get(name, cw)
+	restoreSecs := time.Since(t0).Seconds()
+	if err != nil {
+		return 0, fmt.Errorf("stripe sweep n=%d: restore: %w", n, err)
+	}
+	if got != objSize {
+		return 0, fmt.Errorf("stripe sweep n=%d: restored %d of %d bytes", n, got, objSize)
+	}
+	st := s.Stats()
+	emit.scenario(struct {
+		Scenario       string  `json:"scenario"`
+		Nodes          int     `json:"nodes"`
+		Replicas       int     `json:"replicas"`
+		ChunkSize      int64   `json:"chunk_size"`
+		DelayUS        int64   `json:"delay_us"`
+		Bytes          int64   `json:"bytes"`
+		PutSeconds     float64 `json:"put_seconds"`
+		PutMBps        float64 `json:"put_mbps"`
+		RestoreSeconds float64 `json:"restore_seconds"`
+		RestoreMBps    float64 `json:"restore_mbps"`
+		ChunksGot      int64   `json:"chunks_got"`
+		Fallbacks      int64   `json:"replica_fallbacks"`
+		ChecksumFailed int64   `json:"checksum_failed"`
+	}{"stripe-restore", n, replicas, chunkSize, delay.Microseconds(), objSize,
+		putSecs, float64(objSize) / putSecs / (1 << 20),
+		restoreSecs, float64(objSize) / restoreSecs / (1 << 20),
+		st.ChunksGot, st.ReplicaFallbacks, st.ChecksumFailed},
+		fmt.Sprintf("stripe n=%d: put %.1f MB/s, restore %.1f MB/s (%d chunks, %d fallbacks)",
+			n, float64(objSize)/putSecs/(1<<20), float64(objSize)/restoreSecs/(1<<20),
+			st.ChunksGot, st.ReplicaFallbacks))
+	if err := s.Delete(name); err != nil {
+		return 0, fmt.Errorf("stripe sweep n=%d: delete: %w", n, err)
+	}
+	return restoreSecs, nil
+}
+
+// stripeFaults runs the corruption and kill passes over the full cluster.
+func stripeFaults(emit *emitter, daemons []*stripeNode, objSize, chunkSize int64, replicas int) error {
+	s, nodes, err := dialStore(daemons, chunkSize, replicas)
+	if err != nil {
+		return err
+	}
+	defer closeNodes(nodes)
+	const name = "bench/fault.ckpt"
+	body := payload(name, 1, objSize)
+	if err := s.Put(name, bytes.NewReader(body), objSize); err != nil {
+		return fmt.Errorf("stripe fault pass: put: %w", err)
+	}
+
+	// Corrupt pass: flip a byte in every replica of name's chunks that
+	// lives on daemon 0, through its mount (the daemon serves the
+	// corrupted bytes with a matching transport checksum — only the
+	// manifest fingerprint can catch it).
+	listed, err := nodes[0].List()
+	if err != nil {
+		return err
+	}
+	corrupted := 0
+	for _, o := range listed {
+		if obj, _, kind := stripe.ParseObjectName(o); kind == stripe.KindChunk && obj == name {
+			if err := corruptObject(daemons[0].fs, o); err != nil {
+				return fmt.Errorf("corrupting %s: %w", o, err)
+			}
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		return fmt.Errorf("stripe fault pass: no chunks of %s on node 0; placement broken", name)
+	}
+	before := s.Stats()
+	cw := &compareWriter{want: body}
+	if got, err := s.Get(name, cw); err != nil || got != objSize {
+		return fmt.Errorf("stripe corrupt pass: restore over %d corrupted replicas: got %d bytes, err %v", corrupted, got, err)
+	}
+	after := s.Stats()
+	if after.ChecksumFailed == before.ChecksumFailed {
+		return fmt.Errorf("stripe corrupt pass: corruption of %d replicas went undetected", corrupted)
+	}
+	rep1, err := s.Scrub()
+	if err != nil {
+		return fmt.Errorf("stripe corrupt pass: scrub: %w (%s)", err, rep1)
+	}
+	rep2, err := s.Scrub()
+	if err != nil {
+		return fmt.Errorf("stripe corrupt pass: second scrub: %w (%s)", err, rep2)
+	}
+	residual := rep2.ChunksRepaired + rep2.LostChunks + rep2.ManifestsFixed
+	emit.scenario(struct {
+		Scenario       string `json:"scenario"`
+		Corrupted      int    `json:"replicas_corrupted"`
+		ChecksumFailed int64  `json:"checksum_failed"`
+		Repaired       int    `json:"chunks_repaired"`
+		Residual       int    `json:"residual_defects"`
+	}{"stripe-corrupt", corrupted, after.ChecksumFailed - before.ChecksumFailed, rep1.ChunksRepaired, residual},
+		fmt.Sprintf("stripe corrupt pass: %d replicas corrupted, restore byte-identical, scrub repaired %d, residual %d",
+			corrupted, rep1.ChunksRepaired, residual))
+	if rep1.ChunksRepaired == 0 {
+		return fmt.Errorf("stripe corrupt pass: scrub repaired nothing after %d corruptions", corrupted)
+	}
+	if residual != 0 {
+		return fmt.Errorf("stripe corrupt pass: %d defects survived the repair scrub", residual)
+	}
+
+	// Kill pass: take the last daemon down hard and restore through the
+	// survivors.
+	daemons[len(daemons)-1].stop()
+	daemons = daemons[:len(daemons)-1]
+	before = s.Stats()
+	cw = &compareWriter{want: body}
+	if got, err := s.Get(name, cw); err != nil || got != objSize {
+		return fmt.Errorf("stripe kill pass: restore with a dead node: got %d bytes, err %v", got, err)
+	}
+	after = s.Stats()
+	emit.scenario(struct {
+		Scenario  string `json:"scenario"`
+		Fallbacks int64  `json:"replica_fallbacks"`
+	}{"stripe-kill", after.ReplicaFallbacks - before.ReplicaFallbacks},
+		fmt.Sprintf("stripe kill pass: restore byte-identical through a dead node (%d fallbacks)",
+			after.ReplicaFallbacks-before.ReplicaFallbacks))
+	return nil
+}
+
+// corruptObject flips one byte in the middle of a stored object through
+// the daemon's own mount.
+func corruptObject(fs *crfs.FS, name string) error {
+	info, err := fs.Stat(name)
+	if err != nil {
+		return err
+	}
+	f, err := fs.Open(name, crfs.ReadWrite)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, info.Size/2); err != nil {
+		return err
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b, info.Size/2); err != nil {
+		return err
+	}
+	return nil
+}
+
+func dialStore(daemons []*stripeNode, chunkSize int64, replicas int) (*stripe.Store, []stripe.Node, error) {
+	nodes := make([]stripe.Node, 0, len(daemons))
+	for _, d := range daemons {
+		n, err := stripe.DialNode(d.addr, 2)
+		if err != nil {
+			closeNodes(nodes)
+			return nil, nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	return stripe.New(stripe.Config{ChunkSize: chunkSize, Replicas: replicas}, nodes...), nodes, nil
+}
+
+func closeNodes(nodes []stripe.Node) {
+	for _, n := range nodes {
+		n.Close()
+	}
+}
+
+// stripeRealBench runs one striped operation against real crfsd daemons,
+// for CI and operators: put writes a deterministic self-verifying
+// checkpoint, restore reads it back and fails on any byte difference,
+// scrub verifies and repairs every replica. Unreachable nodes are
+// reported and skipped, so a restore after a node kill still works.
+func stripeRealBench(emit *emitter, addrs []string, op string, objSize, chunkSize int64, replicas int) error {
+	var nodes []stripe.Node
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		n, err := stripe.DialNode(a, 2)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crfsbench: stripe node %s unreachable, continuing without it: %v\n", a, err)
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	defer closeNodes(nodes)
+	if len(nodes) == 0 {
+		return fmt.Errorf("crfsbench: no stripe nodes reachable")
+	}
+	s := stripe.New(stripe.Config{ChunkSize: chunkSize, Replicas: replicas}, nodes...)
+	const name = "bench/striped.ckpt"
+	switch op {
+	case "put":
+		body := payload(name, 1, objSize)
+		t0 := time.Now()
+		if err := s.Put(name, bytes.NewReader(body), objSize); err != nil {
+			return err
+		}
+		secs := time.Since(t0).Seconds()
+		st := s.Stats()
+		emit.scenario(struct {
+			Scenario  string  `json:"scenario"`
+			Nodes     int     `json:"nodes"`
+			Replicas  int     `json:"replicas"`
+			Bytes     int64   `json:"bytes"`
+			Seconds   float64 `json:"seconds"`
+			MBps      float64 `json:"mbps"`
+			ChunksPut int64   `json:"chunks_put"`
+			BytesPut  int64   `json:"bytes_put"`
+		}{"stripe-put", len(nodes), replicas, objSize, secs,
+			float64(objSize) / secs / (1 << 20), st.ChunksPut, st.BytesPut},
+			fmt.Sprintf("stripe put: %d bytes over %d nodes in %.3fs (%.1f MB/s, %d chunk replicas)",
+				objSize, len(nodes), secs, float64(objSize)/secs/(1<<20), st.ChunksPut))
+	case "restore":
+		cw := &compareWriter{want: payload(name, 1, objSize)}
+		t0 := time.Now()
+		got, err := s.Get(name, cw)
+		secs := time.Since(t0).Seconds()
+		if err != nil {
+			return err
+		}
+		if got != objSize {
+			return fmt.Errorf("crfsbench: restored %d bytes, want %d (is -objsize the same as at put?)", got, objSize)
+		}
+		st := s.Stats()
+		emit.scenario(struct {
+			Scenario       string  `json:"scenario"`
+			Nodes          int     `json:"nodes"`
+			Bytes          int64   `json:"bytes"`
+			Seconds        float64 `json:"seconds"`
+			MBps           float64 `json:"mbps"`
+			Fallbacks      int64   `json:"replica_fallbacks"`
+			ChecksumFailed int64   `json:"checksum_failed"`
+		}{"stripe-restore", len(nodes), got, secs, float64(got) / secs / (1 << 20),
+			st.ReplicaFallbacks, st.ChecksumFailed},
+			fmt.Sprintf("stripe restore: %d bytes byte-identical over %d nodes in %.3fs (%.1f MB/s, %d fallbacks)",
+				got, len(nodes), secs, float64(got)/secs/(1<<20), st.ReplicaFallbacks))
+	case "scrub":
+		rep, err := s.Scrub()
+		emit.scenario(struct {
+			Scenario    string `json:"scenario"`
+			Objects     int    `json:"objects"`
+			Verified    int    `json:"chunks_verified"`
+			Repaired    int    `json:"chunks_repaired"`
+			Manifests   int    `json:"manifests_fixed"`
+			Strays      int    `json:"strays_deleted"`
+			Lost        int    `json:"lost_chunks"`
+			Unreachable int    `json:"unreachable_nodes"`
+		}{"stripe-scrub", rep.Objects, rep.ChunksVerified, rep.ChunksRepaired,
+			rep.ManifestsFixed, rep.StraysDeleted, rep.LostChunks, rep.UnreachableNodes},
+			"stripe scrub: "+rep.String())
+		return err
+	default:
+		return fmt.Errorf("crfsbench: unknown -stripe-op %q (want put, restore, or scrub)", op)
+	}
+	return nil
+}

@@ -8,11 +8,24 @@
 //	crfscp -restore [-readahead 8] [-repair] SRC... DSTDIR
 //	crfscp -server host:9000 SRC...           (upload to a crfsd daemon)
 //	crfscp -server host:9000 -restore NAME... DSTDIR
+//	crfscp -nodes host1:9000,host2:9000,host3:9000 [-replicas 2] SRC...
+//	crfscp -nodes host1:9000,host2:9000,host3:9000 -restore NAME... DSTDIR
+//	crfscp -nodes host1:9000,host2:9000,host3:9000 -scrub
 //
 // -server switches to network mode: sources are streamed to a crfsd
 // daemon over one persistent protocol-v2 connection instead of a local
 // mount. With -restore, each NAME is fetched from the daemon into
 // DSTDIR.
+//
+// -nodes switches to striped mode: each source is split into
+// -stripe-chunk sized chunks placed across the listed crfsd daemons
+// with -replicas copies each, behind a fully replicated per-checkpoint
+// manifest (see internal/stripe). Restores stream chunks from all
+// nodes in parallel and verify every chunk against its manifest
+// fingerprint, failing over between replicas, so any single node can
+// be down or corrupted without affecting the restored bytes. -scrub
+// verifies every replica on every node and repairs bad copies from
+// good ones.
 //
 // -repair enables crash recovery on open: a frame container with a torn
 // tail (a power cut mid-checkpoint) is truncated to its longest intact
@@ -41,6 +54,7 @@ import (
 
 	crfs "crfs"
 	"crfs/internal/client"
+	"crfs/internal/stripe"
 )
 
 func main() {
@@ -53,10 +67,24 @@ func main() {
 	readAhead := flag.Int("readahead", 8, "with -restore: read-ahead depth in chunks/frames (0 disables)")
 	repair := flag.Bool("repair", false, "truncate torn frame containers to their intact prefix on first open (crash recovery)")
 	serverAddr := flag.String("server", "", "copy to/from a crfsd daemon at this address instead of a local mount")
+	nodesList := flag.String("nodes", "", "comma-separated crfsd addresses: stripe across these daemons instead of a single server")
+	replicas := flag.Int("replicas", stripe.DefaultReplicas, "with -nodes: copies of each chunk")
+	stripeChunk := flag.Int64("stripe-chunk", stripe.DefaultChunkSize, "with -nodes: stripe unit in bytes")
+	scrub := flag.Bool("scrub", false, "with -nodes: verify every replica against its manifest fingerprint and repair bad copies")
+	redials := flag.Int("redials", 2, "network modes: automatic reconnects per daemon connection")
 	flag.Parse()
 	args := flag.Args()
+	if *nodesList != "" {
+		err := stripedMode(strings.Split(*nodesList, ","), *restore, *scrub, stripe.Config{
+			ChunkSize: *stripeChunk, Replicas: *replicas,
+		}, *redials, args)
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *serverAddr != "" {
-		if err := serverMode(*serverAddr, *restore, args); err != nil {
+		if err := serverMode(*serverAddr, *restore, *redials, args); err != nil {
 			fatal(err)
 		}
 		return
@@ -228,13 +256,13 @@ func restoreOne(fs *crfs.FS, name, dst string, bs int) (int64, error) {
 
 // serverMode moves files over the wire to/from a crfsd daemon on one
 // persistent protocol-v2 connection.
-func serverMode(addr string, restore bool, args []string) error {
+func serverMode(addr string, restore bool, redials int, args []string) error {
 	if len(args) < 1 || (restore && len(args) < 2) {
 		fmt.Fprintln(os.Stderr, "usage: crfscp -server host:port SRC...")
 		fmt.Fprintln(os.Stderr, "       crfscp -server host:port -restore NAME... DSTDIR")
 		os.Exit(2)
 	}
-	c, err := client.Dial(addr, client.Config{})
+	c, err := client.Dial(addr, client.Config{Redials: redials})
 	if err != nil {
 		return err
 	}
@@ -286,6 +314,99 @@ func serverMode(addr string, restore bool, args []string) error {
 	if line, err := c.Stat(); err == nil {
 		fmt.Println(line)
 	}
+	return nil
+}
+
+// stripedMode moves checkpoints through the striped multi-node store:
+// chunks fan out to (and stream back from) every listed daemon in
+// parallel, with replication and manifest fingerprints carrying the
+// durability story.
+func stripedMode(addrs []string, restore, scrub bool, cfg stripe.Config, redials int, args []string) error {
+	if !scrub && (len(args) < 1 || (restore && len(args) < 2)) {
+		fmt.Fprintln(os.Stderr, "usage: crfscp -nodes a:9000,b:9000,... SRC...")
+		fmt.Fprintln(os.Stderr, "       crfscp -nodes a:9000,b:9000,... -restore NAME... DSTDIR")
+		fmt.Fprintln(os.Stderr, "       crfscp -nodes a:9000,b:9000,... -scrub")
+		os.Exit(2)
+	}
+	nodes := make([]stripe.Node, 0, len(addrs))
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		n, err := stripe.DialNode(addr, redials)
+		if err != nil {
+			// An unreachable node must not fail the whole operation:
+			// surviving replicas are exactly what replication buys.
+			// New puts place only on the nodes that answered.
+			fmt.Fprintf(os.Stderr, "crfscp: node %s unreachable, continuing without it: %v\n", addr, err)
+			continue
+		}
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return fmt.Errorf("crfscp: no stripe nodes reachable")
+	}
+	s := stripe.New(cfg, nodes...)
+
+	start := time.Now()
+	if scrub {
+		rep, err := s.Scrub()
+		fmt.Printf("scrub over %d nodes in %.3fs: %s\n", len(nodes), time.Since(start).Seconds(), rep)
+		return err
+	}
+	var total int64
+	if restore {
+		dst := args[len(args)-1]
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			return err
+		}
+		for _, name := range args[:len(args)-1] {
+			out, err := os.Create(filepath.Join(dst, filepath.Base(name)))
+			if err != nil {
+				return err
+			}
+			n, err := s.Get(name, out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("striped GET %s: %w", name, err)
+			}
+			total += n
+		}
+		el := time.Since(start).Seconds()
+		st := s.Stats()
+		fmt.Printf("restored %d bytes from %d nodes in %.3fs (%.1f MB/s)\n", total, len(nodes), el, float64(total)/el/(1<<20))
+		fmt.Printf("chunks=%d fallbacks=%d checksum_failures=%d\n", st.ChunksGot, st.ReplicaFallbacks, st.ChecksumFailed)
+		return nil
+	}
+	for _, src := range args {
+		in, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		info, err := in.Stat()
+		if err != nil {
+			in.Close()
+			return err
+		}
+		err = s.Put(filepath.Base(src), in, info.Size())
+		in.Close()
+		if err != nil {
+			return fmt.Errorf("striped PUT %s: %w", src, err)
+		}
+		total += info.Size()
+	}
+	el := time.Since(start).Seconds()
+	st := s.Stats()
+	fmt.Printf("striped %d bytes to %d nodes in %.3fs (%.1f MB/s)\n", total, len(nodes), el, float64(total)/el/(1<<20))
+	fmt.Printf("chunk replicas=%d replica bytes=%d\n", st.ChunksPut, st.BytesPut)
 	return nil
 }
 

@@ -64,6 +64,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", server.DefaultReadTimeout, "per-read deadline while a request body is being streamed")
 	writeTimeout := flag.Duration("write-timeout", server.DefaultWriteTimeout, "per-write deadline toward clients")
 	idleTimeout := flag.Duration("idle-timeout", server.DefaultIdleTimeout, "close connections idle this long")
+	sweepInterval := flag.Duration("sweep-interval", server.DefaultSweepInterval, "background cadence for removing aborted-PUT staging temps (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a graceful shutdown waits for in-flight requests")
 	flag.Parse()
 
@@ -82,13 +83,14 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := server.New(fs, server.Config{
-		MaxConns:     *maxConns,
-		MaxInFlight:  *maxInFlight,
-		MaxPutBytes:  *maxPutBytes,
-		ReadTimeout:  *readTimeout,
-		WriteTimeout: *writeTimeout,
-		IdleTimeout:  *idleTimeout,
-		Logf:         log.Printf,
+		MaxConns:      *maxConns,
+		MaxInFlight:   *maxInFlight,
+		MaxPutBytes:   *maxPutBytes,
+		ReadTimeout:   *readTimeout,
+		WriteTimeout:  *writeTimeout,
+		IdleTimeout:   *idleTimeout,
+		SweepInterval: *sweepInterval,
+		Logf:          log.Printf,
 	})
 	if n, err := srv.SweepStaging(); err != nil {
 		log.Printf("crfsd: sweeping staging temps: %v", err)

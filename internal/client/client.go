@@ -1,11 +1,21 @@
-// Package client is the protocol-v2 client used by crfscp and
-// crfsbench: one persistent connection carrying many framed requests,
-// multiplexed up to the server's advertised in-flight cap. All methods
-// are safe for concurrent use; each blocks until its request completes.
+// Package client is the protocol-v2 client used by crfscp, crfsbench,
+// and the striped store coordinator: one persistent connection carrying
+// many framed requests, multiplexed up to the server's advertised
+// in-flight cap. All methods are safe for concurrent use; each blocks
+// until its request completes.
+//
+// A transport failure kills the underlying session, but not necessarily
+// the Client: with Config.Redials > 0 the Client redials the server and
+// retries idempotent verbs (GET before any byte was delivered, DEL,
+// LIST, STAT, SCRUB, PING) transparently. A PUT whose body stream was
+// already consumed cannot be replayed from the client's side, so it
+// fails with ErrSessionPoisoned and the caller re-stages.
 package client
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,10 +34,226 @@ type Config struct {
 	// IOTimeout, when positive, bounds each frame read/write on the wire.
 	// Zero means no per-frame deadline.
 	IOTimeout time.Duration
+	// Redials bounds automatic reconnects over the Client's lifetime:
+	// after a transport failure, idempotent requests redial and retry up
+	// to this many times instead of failing the whole run. 0 disables
+	// (the first session loss is final).
+	Redials int
 }
 
-// Client is one protocol-v2 session.
+// ErrSessionPoisoned reports that a request died with the session: the
+// connection failed after the request's body stream was (partially)
+// consumed, so the client cannot replay it. The caller owns the
+// recovery — re-stage the PUT body and retry on the redialed Client.
+var ErrSessionPoisoned = errors.New("client: session poisoned")
+
+// RemoteError is an error frame returned by the server for one request:
+// the request failed but the session is still usable. Msg carries the
+// server's error text verbatim. Transport and protocol failures are
+// reported as other error types and poison the session.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Client is a protocol-v2 client: a live session plus the redial policy
+// that replaces it when it dies.
 type Client struct {
+	addr string
+	cfg  Config
+
+	mu      sync.Mutex
+	sess    *session
+	redials int // reconnects consumed
+	closed  bool
+}
+
+// Dial connects to a protocol-v2 server and completes the hello
+// exchange.
+func Dial(addr string, cfg Config) (*Client, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	s, err := dialSession(addr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{addr: addr, cfg: cfg, sess: s}, nil
+}
+
+// session returns a live session to run a request on, redialing within
+// the budget when the current one is dead. The dial happens under the
+// Client lock — bounded by DialTimeout — so concurrent requests agree
+// on one replacement session instead of racing to dial their own.
+func (c *Client) session() (*session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, net.ErrClosed
+	}
+	if !c.sess.dead() {
+		return c.sess, nil
+	}
+	if c.redials >= c.cfg.Redials {
+		return nil, c.sess.sessionErr()
+	}
+	c.redials++
+	s, err := dialSession(c.addr, c.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("client: redial %s: %w", c.addr, err)
+	}
+	c.sess.teardown(net.ErrClosed)
+	c.sess = s
+	return s, nil
+}
+
+// MaxInFlight reports the server's advertised per-connection request
+// cap (from the current session's hello).
+func (c *Client) MaxInFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess.maxInFlight
+}
+
+// Close tears the connection down; in-flight requests fail and no
+// redial follows.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	s := c.sess
+	c.mu.Unlock()
+	s.teardown(net.ErrClosed)
+	return nil
+}
+
+// noRetry wraps an error the retry loop must surface as-is even though
+// the session died — e.g. a GET that already delivered body bytes.
+type noRetry struct{ error }
+
+func (e noRetry) Unwrap() error { return e.error }
+
+// retry runs op on a live session, redialing and retrying while op's
+// failures are session deaths and the redial budget lasts. Request-level
+// failures (RemoteError, client-side validation) return immediately.
+func (c *Client) retry(op func(*session) error) error {
+	for {
+		s, err := c.session()
+		if err != nil {
+			return err
+		}
+		err = op(s)
+		var nr noRetry
+		if errors.As(err, &nr) {
+			return nr.error
+		}
+		if err == nil || !s.dead() {
+			return err
+		}
+	}
+}
+
+// Put streams size bytes from r to the server under name. The server
+// stages the body and commits it only on clean completion, so a failed
+// Put never leaves a partial file visible. If the session dies after
+// any of r was consumed, Put fails with ErrSessionPoisoned (r cannot be
+// rewound from here); a session death before r was touched redials and
+// retries within the budget.
+func (c *Client) Put(name string, r io.Reader, size int64) error {
+	// Validate before any wire traffic: a bad name (a space would corrupt
+	// the verb line) must fail this one request, not the whole session.
+	if err := server.ValidateName(name); err != nil {
+		return fmt.Errorf("client: PUT: %w", err)
+	}
+	for {
+		s, err := c.session()
+		if err != nil {
+			return err
+		}
+		consumed, err := s.put(name, r, size)
+		if err == nil || !s.dead() {
+			return err
+		}
+		if consumed {
+			return fmt.Errorf("client: PUT %s: %w: %w", name, ErrSessionPoisoned, err)
+		}
+	}
+}
+
+// Get streams name's content into w and returns the byte count. On a
+// mid-stream server error, bytes already received have been written to
+// w and the error reports the failure — error text is never written
+// into w as content. A session death before the first byte reached w
+// redials and retries; after that, retrying would duplicate delivered
+// bytes, so the failure is surfaced instead.
+func (c *Client) Get(name string, w io.Writer) (int64, error) {
+	if err := server.ValidateName(name); err != nil {
+		return 0, fmt.Errorf("client: GET: %w", err)
+	}
+	var n int64
+	err := c.retry(func(s *session) error {
+		var err error
+		n, err = s.get(name, w)
+		if err != nil && n > 0 && s.dead() {
+			return noRetry{fmt.Errorf("client: GET %s: session lost after %d bytes delivered: %w", name, n, err)}
+		}
+		return err
+	})
+	return n, err
+}
+
+// Delete removes name from the store. Deleting a name that does not
+// exist succeeds (the verb is idempotent), so Delete retries freely.
+func (c *Client) Delete(name string) error {
+	if err := server.ValidateName(name); err != nil {
+		return fmt.Errorf("client: DEL: %w", err)
+	}
+	return c.retry(func(s *session) error {
+		_, err := s.simple("DEL " + name)
+		return err
+	})
+}
+
+// List returns every object name on the server, sorted.
+func (c *Client) List() ([]string, error) {
+	var names []string
+	err := c.retry(func(s *session) error {
+		var err error
+		names, err = s.list()
+		return err
+	})
+	return names, err
+}
+
+// Stat returns the server's one-line stats summary.
+func (c *Client) Stat() (string, error) { return c.simpleRetry("STAT") }
+
+// Scrub runs a scrub pass on the server and returns its summary line.
+func (c *Client) Scrub() (string, error) { return c.simpleRetry("SCRUB") }
+
+// Ping round-trips an empty request.
+func (c *Client) Ping() error {
+	_, err := c.simpleRetry("PING")
+	return err
+}
+
+func (c *Client) simpleRetry(verb string) (string, error) {
+	var line string
+	err := c.retry(func(s *session) error {
+		var err error
+		line, err = s.simple(verb)
+		return err
+	})
+	return line, err
+}
+
+// ---- session: one connection's lifetime ----
+
+// session is one protocol-v2 connection: the demux reader, the pending
+// request table, and the in-flight slots. A session never heals — any
+// transport or framing failure marks it dead and the Client decides
+// whether a fresh one replaces it.
+type session struct {
 	nc net.Conn
 	br *bufio.Reader
 
@@ -51,27 +277,13 @@ type frame struct {
 	payload []byte
 }
 
-// RemoteError is an error frame returned by the server for one request:
-// the request failed but the session is still usable. Msg carries the
-// server's error text verbatim. Transport and protocol failures are
-// reported as other error types and poison the whole session.
-type RemoteError struct {
-	Msg string
-}
-
-func (e *RemoteError) Error() string { return e.Msg }
-
-// Dial connects to a protocol-v2 server and completes the hello
-// exchange.
-func Dial(addr string, cfg Config) (*Client, error) {
-	if cfg.DialTimeout <= 0 {
-		cfg.DialTimeout = 10 * time.Second
-	}
+// dialSession connects and completes the hello exchange.
+func dialSession(addr string, cfg Config) (*session, error) {
 	nc, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
+	s := &session{
 		nc:        nc,
 		br:        bufio.NewReaderSize(nc, 64<<10),
 		ioTimeout: cfg.IOTimeout,
@@ -83,7 +295,7 @@ func Dial(addr string, cfg Config) (*Client, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: hello: %w", err)
 	}
-	hdr, payload, err := server.ReadFrame(c.br, nil)
+	hdr, payload, err := server.ReadFrame(s.br, nil)
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("client: reading server hello: %w", err)
@@ -92,152 +304,182 @@ func Dial(addr string, cfg Config) (*Client, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: unexpected first frame type %#x: %w", hdr.Type, server.ErrProtocol)
 	}
-	c.maxInFlight = parseHello(string(payload))
-	c.sem = make(chan struct{}, c.maxInFlight)
-	nc.SetDeadline(time.Time{})
-	go c.reader()
-	return c, nil
-}
-
-// parseHello extracts maxinflight from the server hello, defaulting
-// conservatively when absent.
-func parseHello(s string) int {
-	for _, f := range strings.Fields(s) {
-		if v, ok := strings.CutPrefix(f, "maxinflight="); ok {
-			if n, err := strconv.Atoi(v); err == nil && n > 0 {
-				return n
-			}
-		}
+	s.maxInFlight, err = parseHello(string(payload))
+	if err != nil {
+		// A server that mis-advertises its in-flight cap would silently
+		// serialize (or desync) every request on this session: fail the
+		// dial loudly instead of degrading.
+		nc.Close()
+		return nil, err
 	}
-	return 1
+	s.sem = make(chan struct{}, s.maxInFlight)
+	nc.SetDeadline(time.Time{})
+	go s.reader()
+	return s, nil
 }
 
-// MaxInFlight reports the server's advertised per-connection request cap.
-func (c *Client) MaxInFlight() int { return c.maxInFlight }
+// parseHello extracts maxinflight from the server hello. A hello that
+// omits the field or carries a malformed value is a protocol error.
+func parseHello(hello string) (int, error) {
+	for _, f := range strings.Fields(hello) {
+		v, ok := strings.CutPrefix(f, "maxinflight=")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return 0, fmt.Errorf("client: malformed maxinflight %q in server hello %q: %w", v, hello, server.ErrProtocol)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("client: server hello %q advertises no maxinflight: %w", hello, server.ErrProtocol)
+}
 
-// Close tears the connection down; in-flight requests fail.
-func (c *Client) Close() error {
-	c.fail(net.ErrClosed)
-	return c.nc.Close()
+// dead reports whether the session has failed.
+func (s *session) dead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err != nil
+}
+
+// teardown force-fails the session and closes its connection.
+func (s *session) teardown(cause error) {
+	s.fail(cause)
+	s.nc.Close()
 }
 
 // fail marks the session dead and wakes every pending request. The
 // per-request channels are never closed — the reader may be blocked
 // sending on one concurrently, and a send on a closed channel panics —
 // waiters wake via the done channel instead.
-func (c *Client) fail(err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
+func (s *session) fail(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
 		return
 	}
-	c.err = err
-	close(c.done)
+	s.err = err
+	close(s.done)
+}
+
+// poison fails the session for a framing-level violation (the stream is
+// no longer in a known state) and returns the error for the caller.
+func (s *session) poison(err error) error {
+	s.fail(err)
+	s.nc.Close()
+	return err
 }
 
 // reader is the demux goroutine: it routes every incoming frame to the
 // request that owns it.
-func (c *Client) reader() {
+func (s *session) reader() {
 	var buf []byte
 	for {
-		hdr, payload, err := c.readFrame(buf)
+		hdr, payload, err := s.readFrame(buf)
 		if err != nil {
-			c.fail(fmt.Errorf("client: connection lost: %w", err))
-			c.nc.Close()
+			s.fail(fmt.Errorf("client: connection lost: %w", err))
+			s.nc.Close()
 			return
 		}
 		buf = payload[:0]
 		if hdr.ReqID == 0 {
 			// Connection-level error (protocol violation report): fatal.
-			c.fail(fmt.Errorf("client: server closed the session: %s", payload))
-			c.nc.Close()
+			s.fail(fmt.Errorf("client: server closed the session: %s", payload))
+			s.nc.Close()
 			return
 		}
-		c.mu.Lock()
-		ch := c.pending[hdr.ReqID]
-		c.mu.Unlock()
+		s.mu.Lock()
+		ch := s.pending[hdr.ReqID]
+		s.mu.Unlock()
 		if ch == nil {
 			// A response for a request we already gave up on; drop it.
 			continue
 		}
 		select {
 		case ch <- frame{typ: hdr.Type, payload: append([]byte(nil), payload...)}:
-		case <-c.done:
+		case <-s.done:
 			return
 		}
 	}
 }
 
 // readFrame reads one frame under the optional IO deadline.
-func (c *Client) readFrame(buf []byte) (server.Header, []byte, error) {
-	if c.ioTimeout > 0 {
-		c.nc.SetReadDeadline(time.Now().Add(c.ioTimeout))
+func (s *session) readFrame(buf []byte) (server.Header, []byte, error) {
+	if s.ioTimeout > 0 {
+		s.nc.SetReadDeadline(time.Now().Add(s.ioTimeout))
 	}
-	return server.ReadFrame(c.br, buf)
+	return server.ReadFrame(s.br, buf)
 }
 
 // begin registers a new request and sends its req frame.
-func (c *Client) begin(line string) (uint32, chan frame, error) {
-	c.mu.Lock()
-	if c.err != nil {
-		err := c.err
-		c.mu.Unlock()
+func (s *session) begin(line string) (uint32, chan frame, error) {
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
 		return 0, nil, err
 	}
-	c.nextID++
-	if c.nextID == 0 {
-		c.nextID = 1
+	s.nextID++
+	if s.nextID == 0 {
+		s.nextID = 1
 	}
-	id := c.nextID
+	id := s.nextID
 	ch := make(chan frame, 16)
-	c.pending[id] = ch
-	c.mu.Unlock()
-	if err := c.writeFrame(server.FrameReq, id, []byte(line)); err != nil {
-		c.forget(id)
+	s.pending[id] = ch
+	s.mu.Unlock()
+	if err := s.writeFrame(server.FrameReq, id, []byte(line)); err != nil {
+		s.forget(id)
 		return 0, nil, err
 	}
 	return id, ch, nil
 }
 
-func (c *Client) forget(id uint32) {
-	c.mu.Lock()
-	delete(c.pending, id)
-	c.mu.Unlock()
+func (s *session) forget(id uint32) {
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
 }
 
 // writeFrame writes one frame atomically (header and payload under one
-// lock hold) and flushes it to the wire.
-func (c *Client) writeFrame(typ uint8, id uint32, payload []byte) error {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if c.ioTimeout > 0 {
-		c.nc.SetWriteDeadline(time.Now().Add(c.ioTimeout))
+// lock hold) and flushes it to the wire. A write failure kills the
+// session: the peer's view of the stream is unknowable past a short
+// write.
+func (s *session) writeFrame(typ uint8, id uint32, payload []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.ioTimeout > 0 {
+		s.nc.SetWriteDeadline(time.Now().Add(s.ioTimeout))
 	}
-	return server.WriteFrame(c.nc, typ, id, payload)
+	if err := server.WriteFrame(s.nc, typ, id, payload); err != nil {
+		s.fail(fmt.Errorf("client: writing frame: %w", err))
+		s.nc.Close()
+		return err
+	}
+	return nil
 }
 
 // recv blocks for the next frame routed to ch. When the session dies it
 // still prefers a frame the reader already delivered — a response that
 // raced Close is a response, not an error.
-func (c *Client) recv(ch chan frame) (frame, error) {
+func (s *session) recv(ch chan frame) (frame, error) {
 	select {
 	case f := <-ch:
 		return f, nil
-	case <-c.done:
+	case <-s.done:
 		select {
 		case f := <-ch:
 			return f, nil
 		default:
-			return frame{}, c.sessionErr()
+			return frame{}, s.sessionErr()
 		}
 	}
 }
 
 // wait blocks for the request's terminal frame, returning the payload
 // of the end frame or the error frame's text as an error.
-func (c *Client) wait(id uint32, ch chan frame) (string, error) {
-	defer c.forget(id)
-	f, err := c.recv(ch)
+func (s *session) wait(id uint32, ch chan frame) (string, error) {
+	defer s.forget(id)
+	f, err := s.recv(ch)
 	if err != nil {
 		return "", err
 	}
@@ -247,38 +489,32 @@ func (c *Client) wait(id uint32, ch chan frame) (string, error) {
 	case server.FrameErr:
 		return "", &RemoteError{Msg: string(f.payload)}
 	default:
-		return "", fmt.Errorf("client: unexpected frame type %#x: %w", f.typ, server.ErrProtocol)
+		return "", s.poison(fmt.Errorf("client: unexpected frame type %#x: %w", f.typ, server.ErrProtocol))
 	}
 }
 
-func (c *Client) sessionErr() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.err != nil {
-		return c.err
+func (s *session) sessionErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
 	}
 	return net.ErrClosed
 }
 
 // acquire takes an in-flight slot (the server refuses requests past its
 // advertised cap, so the client queues locally instead).
-func (c *Client) acquire() { c.sem <- struct{}{} }
-func (c *Client) release() { <-c.sem }
+func (s *session) acquire() { s.sem <- struct{}{} }
+func (s *session) release() { <-s.sem }
 
-// Put streams size bytes from r to the server under name. The server
-// stages the body and commits it only on clean completion, so a failed
-// Put never leaves a partial file visible.
-func (c *Client) Put(name string, r io.Reader, size int64) error {
-	// Validate before any wire traffic: a bad name (a space would corrupt
-	// the verb line) must fail this one request, not the whole session.
-	if err := server.ValidateName(name); err != nil {
-		return fmt.Errorf("client: PUT: %w", err)
-	}
-	c.acquire()
-	defer c.release()
-	id, ch, err := c.begin(fmt.Sprintf("PUT %s %d", name, size))
+// put streams one PUT. consumed reports whether any of r was read —
+// once true, the request cannot be transparently replayed.
+func (s *session) put(name string, r io.Reader, size int64) (consumed bool, err error) {
+	s.acquire()
+	defer s.release()
+	id, ch, err := s.begin(fmt.Sprintf("PUT %s %d", name, size))
 	if err != nil {
-		return err
+		return false, err
 	}
 	buf := make([]byte, server.DataChunk)
 	var sent int64
@@ -287,65 +523,60 @@ func (c *Client) Put(name string, r io.Reader, size int64) error {
 		// the server is discarding the body: stop streaming, close it out.
 		select {
 		case f := <-ch:
-			c.forget(id)
+			s.forget(id)
 			if f.typ == server.FrameErr {
-				c.writeFrame(server.FrameEnd, id, nil)
-				return &RemoteError{Msg: string(f.payload)}
+				s.writeFrame(server.FrameEnd, id, nil)
+				return consumed, &RemoteError{Msg: string(f.payload)}
 			}
-			return fmt.Errorf("client: PUT %s: early frame type %#x: %w", name, f.typ, server.ErrProtocol)
-		case <-c.done:
-			c.forget(id)
-			return c.sessionErr()
+			return consumed, s.poison(fmt.Errorf("client: PUT %s: early frame type %#x: %w", name, f.typ, server.ErrProtocol))
+		case <-s.done:
+			s.forget(id)
+			return consumed, s.sessionErr()
 		default:
 		}
 		want := int64(len(buf))
 		if size-sent < want {
 			want = size - sent
 		}
+		consumed = true
 		if _, err := io.ReadFull(r, buf[:want]); err != nil {
 			// The body source failed: we cannot complete the declared size,
-			// so the connection is poisoned; tear it down and report.
-			c.Close()
-			return fmt.Errorf("client: PUT %s: reading body: %w", name, err)
+			// so this session is unusable; tear it down and report.
+			s.teardown(fmt.Errorf("client: PUT %s: body source failed: %w", name, err))
+			return consumed, fmt.Errorf("client: PUT %s: reading body: %w", name, err)
 		}
-		if err := c.writeFrame(server.FrameData, id, buf[:want]); err != nil {
-			c.forget(id)
-			return err
+		if err := s.writeFrame(server.FrameData, id, buf[:want]); err != nil {
+			s.forget(id)
+			return consumed, err
 		}
 		sent += want
 	}
-	if err := c.writeFrame(server.FrameEnd, id, nil); err != nil {
-		c.forget(id)
-		return err
+	if err := s.writeFrame(server.FrameEnd, id, nil); err != nil {
+		s.forget(id)
+		return consumed, err
 	}
-	line, err := c.wait(id, ch)
+	line, err := s.wait(id, ch)
 	if err != nil {
-		return err
+		return consumed, err
 	}
 	if !strings.HasPrefix(line, "OK") {
-		return fmt.Errorf("client: PUT %s: bad response %q: %w", name, line, server.ErrProtocol)
+		return consumed, s.poison(fmt.Errorf("client: PUT %s: bad response %q: %w", name, line, server.ErrProtocol))
 	}
-	return nil
+	return consumed, nil
 }
 
-// Get streams name's content into w and returns the byte count. On a
-// mid-stream server error, bytes already received have been written to
-// w and the error reports the failure — error text is never written
-// into w as content.
-func (c *Client) Get(name string, w io.Writer) (int64, error) {
-	if err := server.ValidateName(name); err != nil {
-		return 0, fmt.Errorf("client: GET: %w", err)
-	}
-	c.acquire()
-	defer c.release()
-	id, ch, err := c.begin("GET " + name)
+// get streams one GET into w, returning the bytes delivered.
+func (s *session) get(name string, w io.Writer) (int64, error) {
+	s.acquire()
+	defer s.release()
+	id, ch, err := s.begin("GET " + name)
 	if err != nil {
 		return 0, err
 	}
-	defer c.forget(id)
+	defer s.forget(id)
 	var n int64
 	for {
-		f, err := c.recv(ch)
+		f, err := s.recv(ch)
 		if err != nil {
 			return n, err
 		}
@@ -356,42 +587,72 @@ func (c *Client) Get(name string, w io.Writer) (int64, error) {
 			if werr != nil {
 				// The sink failed; the server keeps streaming. Poison the
 				// session rather than desync the request.
-				c.Close()
+				s.teardown(fmt.Errorf("client: GET %s: sink failed: %w", name, werr))
 				return n, fmt.Errorf("client: GET %s: writing body: %w", name, werr)
 			}
 		case server.FrameEnd:
 			line := string(f.payload)
 			var size int64
 			if _, err := fmt.Sscanf(line, "OK %d", &size); err != nil || size != n {
-				return n, fmt.Errorf("client: GET %s: got %d bytes, trailer %q: %w", name, n, line, server.ErrProtocol)
+				return n, s.poison(fmt.Errorf("client: GET %s: got %d bytes, trailer %q: %w", name, n, line, server.ErrProtocol))
 			}
 			return n, nil
 		case server.FrameErr:
 			return n, &RemoteError{Msg: string(f.payload)}
 		default:
-			return n, fmt.Errorf("client: GET %s: unexpected frame type %#x: %w", name, f.typ, server.ErrProtocol)
+			return n, s.poison(fmt.Errorf("client: GET %s: unexpected frame type %#x: %w", name, f.typ, server.ErrProtocol))
 		}
 	}
 }
 
-// Stat returns the server's one-line stats summary.
-func (c *Client) Stat() (string, error) { return c.simple("STAT") }
-
-// Scrub runs a scrub pass on the server and returns its summary line.
-func (c *Client) Scrub() (string, error) { return c.simple("SCRUB") }
-
-// Ping round-trips an empty request.
-func (c *Client) Ping() error {
-	_, err := c.simple("PING")
-	return err
+// list runs one LIST, buffering the streamed body so a retried LIST
+// never exposes a partial listing.
+func (s *session) list() ([]string, error) {
+	s.acquire()
+	defer s.release()
+	id, ch, err := s.begin("LIST")
+	if err != nil {
+		return nil, err
+	}
+	defer s.forget(id)
+	var body bytes.Buffer
+	for {
+		f, err := s.recv(ch)
+		if err != nil {
+			return nil, err
+		}
+		switch f.typ {
+		case server.FrameData:
+			body.Write(f.payload)
+		case server.FrameEnd:
+			var count int
+			if _, err := fmt.Sscanf(string(f.payload), "OK %d", &count); err != nil {
+				return nil, s.poison(fmt.Errorf("client: LIST: bad trailer %q: %w", f.payload, server.ErrProtocol))
+			}
+			names := make([]string, 0, count)
+			for _, ln := range strings.Split(body.String(), "\n") {
+				if ln != "" {
+					names = append(names, ln)
+				}
+			}
+			if len(names) != count {
+				return nil, s.poison(fmt.Errorf("client: LIST: %d names, trailer count %d: %w", len(names), count, server.ErrProtocol))
+			}
+			return names, nil
+		case server.FrameErr:
+			return nil, &RemoteError{Msg: string(f.payload)}
+		default:
+			return nil, s.poison(fmt.Errorf("client: LIST: unexpected frame type %#x: %w", f.typ, server.ErrProtocol))
+		}
+	}
 }
 
-func (c *Client) simple(verb string) (string, error) {
-	c.acquire()
-	defer c.release()
-	id, ch, err := c.begin(verb)
+func (s *session) simple(verb string) (string, error) {
+	s.acquire()
+	defer s.release()
+	id, ch, err := s.begin(verb)
 	if err != nil {
 		return "", err
 	}
-	return c.wait(id, ch)
+	return s.wait(id, ch)
 }

@@ -1,0 +1,58 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"crfs/internal/server"
+)
+
+func TestParseHelloAccepts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"crfsd/2 maxinflight=32", 32},
+		{"maxinflight=1", 1},
+		{"version=2 maxinflight=7 codec=raw", 7},
+	}
+	for _, tc := range cases {
+		got, err := parseHello(tc.in)
+		if err != nil {
+			t.Errorf("parseHello(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("parseHello(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestParseHelloRejectsMalformed pins the bug fixed in this revision: a
+// hello with a missing or malformed maxinflight used to be silently
+// treated as a cap of 1, serializing every request on the session. Each
+// malformed form must now be a protocol error so the dial fails loudly.
+func TestParseHelloRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",                  // empty hello
+		"crfsd/2 codec=raw", // field absent
+		"maxinflight=",      // empty value
+		"maxinflight=abc",   // not a number
+		"maxinflight=0",     // zero cap is unusable
+		"maxinflight=-4",    // negative cap
+		"maxinflight=1e3",   // not an integer
+		"maxinflight=32x",   // trailing junk
+		"MAXINFLIGHT=32",    // field names are case-sensitive
+		"notmaxinflight=32", // prefix of another field does not count
+	}
+	for _, in := range cases {
+		n, err := parseHello(in)
+		if err == nil {
+			t.Errorf("parseHello(%q) = %d, want protocol error", in, n)
+			continue
+		}
+		if !errors.Is(err, server.ErrProtocol) {
+			t.Errorf("parseHello(%q) error %v does not wrap server.ErrProtocol", in, err)
+		}
+	}
+}

@@ -436,11 +436,59 @@ func (c *srvConn) run(id uint32, req Request, r *inReq) {
 			return
 		}
 		c.complete(id, FrameEnd, []byte(line))
+	case "LIST":
+		c.runList(id)
+	case "DEL":
+		// Idempotent: deleting a name that is already gone succeeds, so
+		// distributed cleanup (stripe rebalance, stray GC) can retry and
+		// race freely.
+		if err := c.srv.fs.Remove(req.Name); err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			c.complete(id, FrameErr, []byte(err.Error()))
+			return
+		}
+		c.complete(id, FrameEnd, []byte("OK"))
 	case "GET":
 		c.runGet(id, req.Name)
 	case "PUT":
 		c.runPut(id, req, r)
 	}
+}
+
+// runList streams the store's object names (staging temps excluded),
+// newline-terminated, as data frames closed by an "OK <count>" end frame.
+func (c *srvConn) runList(id uint32) {
+	names, err := c.srv.ListNames()
+	if err != nil {
+		c.complete(id, FrameErr, []byte(err.Error()))
+		return
+	}
+	var buf []byte
+	flush := func() bool {
+		if len(buf) == 0 {
+			return true
+		}
+		// The writer consumes payloads by reference, so each frame gets
+		// its own slice.
+		if !c.sendFrame(outFrame{typ: FrameData, reqID: id, payload: buf}) {
+			return false
+		}
+		c.srv.c.bytesOut.Add(int64(len(buf)))
+		buf = nil
+		return true
+	}
+	for _, n := range names {
+		if len(buf)+len(n)+1 > DataChunk {
+			if !flush() {
+				return
+			}
+		}
+		buf = append(buf, n...)
+		buf = append(buf, '\n')
+	}
+	if !flush() {
+		return
+	}
+	c.complete(id, FrameEnd, []byte(fmt.Sprintf("OK %d", len(names))))
 }
 
 // runGet streams a file as data frames. Any failure — before the first
@@ -611,6 +659,34 @@ func (c *srvConn) serveV1(line string) {
 			}
 		}
 		c.srv.c.getsServed.Add(1)
+	case "LIST":
+		names, err := c.srv.ListNames()
+		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		if err != nil {
+			c.srv.c.requestErrors.Add(1)
+			fmt.Fprintf(c.nc, "ERR %v\n", err)
+			return
+		}
+		body := strings.Join(names, "\n")
+		if len(names) > 0 {
+			body += "\n"
+		}
+		if _, err := fmt.Fprintf(c.nc, "OK %d\n", len(body)); err != nil {
+			return
+		}
+		if _, err := io.WriteString(c.nc, body); err != nil {
+			return
+		}
+		c.srv.c.bytesOut.Add(int64(len(body)))
+	case "DEL":
+		err := c.srv.fs.Remove(req.Name)
+		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		if err != nil && !errors.Is(err, vfs.ErrNotExist) {
+			c.srv.c.requestErrors.Add(1)
+			fmt.Fprintf(c.nc, "ERR %v\n", err)
+			return
+		}
+		fmt.Fprintf(c.nc, "OK\n")
 	case "STAT":
 		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
 		fmt.Fprintf(c.nc, "%s\n", statLine(c.srv.fs))
@@ -642,6 +718,9 @@ func (s *Server) stagePut(name string, size int64, src func() ([]byte, error)) (
 		}
 	}
 	temp := StagingName(name, s.seq.Add(1))
+	// Register the temp as live before it exists on disk, so a periodic
+	// sweep can never race this PUT and reap it mid-stream.
+	defer s.trackStaging(temp)()
 	f, err := s.fs.Open(temp, vfs.WriteOnly|vfs.Create|vfs.Excl)
 	if err != nil {
 		return 0, err

@@ -17,7 +17,8 @@
 //	offset 12 payload bytes
 //
 // A request is a req frame whose payload is a verb line — "PUT name
-// size", "GET name", "STAT", "SCRUB", "PING" — under a client-chosen
+// size", "GET name", "DEL name", "LIST", "STAT", "SCRUB", "PING" —
+// under a client-chosen
 // request id that must not collide with one still in flight. A PUT body
 // is streamed as data frames tagged with the request id, closed by an
 // empty end frame; the server commits the staged file and answers with
@@ -159,8 +160,8 @@ func ReadFrame(r io.Reader, buf []byte) (Header, []byte, error) {
 
 // Request is a parsed verb line.
 type Request struct {
-	Verb string // "PUT", "GET", "STAT", "SCRUB", "PING"
-	Name string // PUT/GET target
+	Verb string // "PUT", "GET", "DEL", "LIST", "STAT", "SCRUB", "PING"
+	Name string // PUT/GET/DEL target
 	Size int64  // PUT declared body size
 }
 
@@ -182,12 +183,12 @@ func ParseRequest(line string) (Request, error) {
 			return Request{}, fmt.Errorf("server: bad PUT size %q: %w", fields[2], vfs.ErrInvalid)
 		}
 		req.Name, req.Size = fields[1], size
-	case "GET":
+	case "GET", "DEL":
 		if len(fields) != 2 {
-			return Request{}, fmt.Errorf("server: usage: GET name: %w", vfs.ErrInvalid)
+			return Request{}, fmt.Errorf("server: usage: %s name: %w", req.Verb, vfs.ErrInvalid)
 		}
 		req.Name = fields[1]
-	case "STAT", "SCRUB", "PING":
+	case "LIST", "STAT", "SCRUB", "PING":
 		if len(fields) != 1 {
 			return Request{}, fmt.Errorf("server: %s takes no arguments: %w", req.Verb, vfs.ErrInvalid)
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,17 +38,23 @@ type Config struct {
 	IdleTimeout time.Duration
 	// MaxPutBytes rejects PUTs declaring a larger body (0 = unlimited).
 	MaxPutBytes int64
+	// SweepInterval is the cadence of the background staging sweep that
+	// removes `.put~` temps stranded by aborted PUTs on a long-lived
+	// node (temps of in-flight PUTs are never touched). Negative
+	// disables the background sweep. Default 5m.
+	SweepInterval time.Duration
 	// Logf, when non-nil, receives server event logs.
 	Logf func(format string, args ...any)
 }
 
 // Defaults for Config's zero fields.
 const (
-	DefaultMaxConns     = 256
-	DefaultMaxInFlight  = 8
-	DefaultReadTimeout  = time.Minute
-	DefaultWriteTimeout = time.Minute
-	DefaultIdleTimeout  = 5 * time.Minute
+	DefaultMaxConns      = 256
+	DefaultMaxInFlight   = 8
+	DefaultReadTimeout   = time.Minute
+	DefaultWriteTimeout  = time.Minute
+	DefaultIdleTimeout   = 5 * time.Minute
+	DefaultSweepInterval = 5 * time.Minute
 )
 
 // withDefaults fills zero Config fields.
@@ -66,6 +73,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IdleTimeout <= 0 {
 		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = DefaultSweepInterval
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -89,6 +99,9 @@ type serverCounters struct {
 	getsServed     atomic.Int64
 	bytesIn        atomic.Int64
 	bytesOut       atomic.Int64
+
+	sweepsRun         atomic.Int64
+	sweepTempsRemoved atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of server activity, the network
@@ -119,6 +132,10 @@ type Stats struct {
 	// BytesIn / BytesOut are body payload bytes moved on the wire.
 	BytesIn  int64
 	BytesOut int64
+	// SweepsRun counts staging-sweep passes (startup, periodic, drain).
+	SweepsRun int64
+	// SweepTempsRemoved counts stale staging temps removed by sweeps.
+	SweepTempsRemoved int64
 }
 
 // Server serves the crfsd protocol against a CRFS mount.
@@ -131,9 +148,12 @@ type Server struct {
 	done    chan struct{} // closed when Shutdown begins
 	wg      sync.WaitGroup
 
+	sweepOnce sync.Once // starts the periodic staging sweeper
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[*srvConn]struct{}
+	staging   map[string]struct{} // temps of in-flight PUTs, exempt from sweeps
 	draining  bool
 
 	c serverCounters
@@ -150,6 +170,47 @@ func New(fs *core.FS, cfg Config) *Server {
 		done:      make(chan struct{}),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[*srvConn]struct{}),
+		staging:   make(map[string]struct{}),
+	}
+}
+
+// trackStaging marks a staging temp as owned by an in-flight PUT, and
+// returns the untrack func for when the PUT commits or aborts.
+func (s *Server) trackStaging(temp string) func() {
+	s.mu.Lock()
+	s.staging[temp] = struct{}{}
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.staging, temp)
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) stagingLive(temp string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.staging[temp]
+	return ok
+}
+
+// sweeper is the background staging sweep: every SweepInterval it
+// removes `.put~` temps not owned by an in-flight PUT, so aborted-PUT
+// leftovers stop accumulating until the next daemon restart.
+func (s *Server) sweeper() {
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if n, err := s.SweepStaging(); err != nil {
+				s.cfg.Logf("crfsd: staging sweep: %v", err)
+			} else if n > 0 {
+				s.cfg.Logf("crfsd: staging sweep removed %d stale temp(s)", n)
+			}
+		case <-s.done:
+			return
+		}
 	}
 }
 
@@ -169,6 +230,9 @@ func (s *Server) Stats() Stats {
 		GetsServed:     s.c.getsServed.Load(),
 		BytesIn:        s.c.bytesIn.Load(),
 		BytesOut:       s.c.bytesOut.Load(),
+
+		SweepsRun:         s.c.sweepsRun.Load(),
+		SweepTempsRemoved: s.c.sweepTempsRemoved.Load(),
 	}
 }
 
@@ -183,6 +247,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 	s.listeners[ln] = struct{}{}
 	s.mu.Unlock()
+	if s.cfg.SweepInterval > 0 {
+		s.sweepOnce.Do(func() { go s.sweeper() })
+	}
 	defer func() {
 		s.mu.Lock()
 		delete(s.listeners, ln)
@@ -286,6 +353,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-drained:
+		// Drained cleanly: every in-flight PUT has committed or aborted,
+		// so any staging temp still on disk is garbage — sweep it before
+		// the caller unmounts.
+		if _, err := s.SweepStaging(); err != nil {
+			s.cfg.Logf("crfsd: drain staging sweep: %v", err)
+		}
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -320,11 +393,8 @@ func (s *Server) unregister(c *srvConn) {
 	s.mu.Unlock()
 }
 
-// SweepStaging removes PUT staging temps left behind by a crashed or
-// killed daemon. It walks the whole mount, so it is meant for startup,
-// before traffic.
-func (s *Server) SweepStaging() (int, error) {
-	removed := 0
+// walkFiles calls fn for every regular file under the mount root.
+func (s *Server) walkFiles(fn func(path string) error) error {
 	var walk func(dir string) error
 	walk = func(dir string) error {
 		ents, err := s.fs.ReadDir(dir)
@@ -333,20 +403,52 @@ func (s *Server) SweepStaging() (int, error) {
 		}
 		for _, e := range ents {
 			path := vfs.Join(dir, e.Name)
-			switch {
-			case e.IsDir:
+			if e.IsDir {
 				if err := walk(path); err != nil {
 					return err
 				}
-			case IsStagingName(path):
-				if err := s.fs.Remove(path); err != nil {
-					return err
-				}
-				removed++
+				continue
+			}
+			if err := fn(path); err != nil {
+				return err
 			}
 		}
 		return nil
 	}
-	err := walk(".")
+	return walk(".")
+}
+
+// ListNames returns every stored object name in sorted order, PUT
+// staging temps excluded — the LIST verb's view of the store.
+func (s *Server) ListNames() ([]string, error) {
+	names := []string{}
+	err := s.walkFiles(func(path string) error {
+		if !IsStagingName(path) {
+			names = append(names, path)
+		}
+		return nil
+	})
+	sort.Strings(names)
+	return names, err
+}
+
+// SweepStaging removes PUT staging temps left behind by a crashed or
+// killed daemon. It runs at startup, on the periodic sweep cadence, and
+// after a graceful drain; temps belonging to in-flight PUTs are skipped,
+// so sweeping a live server never aborts real traffic.
+func (s *Server) SweepStaging() (int, error) {
+	removed := 0
+	err := s.walkFiles(func(path string) error {
+		if !IsStagingName(path) || s.stagingLive(path) {
+			return nil
+		}
+		if err := s.fs.Remove(path); err != nil {
+			return err
+		}
+		removed++
+		return nil
+	})
+	s.c.sweepsRun.Add(1)
+	s.c.sweepTempsRemoved.Add(int64(removed))
 	return removed, err
 }

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/binary"
@@ -44,6 +45,22 @@ func newEnv(t *testing.T, backend vfs.FS, cfg server.Config) *env {
 	}
 	e := &env{fs: fs, srv: srv, addr: ln.Addr().String(), done: make(chan error, 1)}
 	go func() { e.done <- srv.Serve(ln) }()
+	// Wait until Serve is actually running: a hello round-trip proves a
+	// connection was served. Without this, a test body that finishes
+	// immediately can begin the drain before the Serve goroutine was ever
+	// scheduled, and Serve then reports "serve after shutdown".
+	nc, err := net.DialTimeout("tcp", e.addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.WriteString(nc, server.HelloLine); err != nil {
+		t.Fatal(err)
+	}
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, _, err := server.ReadFrame(bufio.NewReader(nc), nil); err != nil {
+		t.Fatalf("readiness hello: %v", err)
+	}
+	nc.Close()
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

@@ -1,0 +1,112 @@
+package stripe
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"crfs/internal/codec"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		Object:    "app/rank3.ckpt",
+		Size:      10 << 20,
+		ChunkSize: 4 << 20,
+		Replicas:  2,
+		Chunks: []Chunk{
+			{Offset: 0, Length: 4 << 20, CRC: 0xdeadbeef, Nodes: []string{"n1", "n2"}},
+			{Offset: 4 << 20, Length: 4 << 20, CRC: 0x01020304, Nodes: []string{"n3", "n1"}},
+			{Offset: 8 << 20, Length: 2 << 20, CRC: 0, Nodes: []string{"n2", "n3"}},
+		},
+	}
+}
+
+func TestManifestRoundtrip(t *testing.T) {
+	m := sampleManifest()
+	got, err := DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("roundtrip mismatch:\n%+v\n%+v", m, got)
+	}
+	// Empty object: zero chunks.
+	empty := &Manifest{Object: "empty", ChunkSize: 4 << 20, Replicas: 2, Chunks: []Chunk{}}
+	got, err = DecodeManifest(empty.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size != 0 || len(got.Chunks) != 0 {
+		t.Fatalf("empty roundtrip = %+v", got)
+	}
+}
+
+// TestManifestDetectsCorruption: every single-byte flip must fail the
+// self-checksum (or structural parse), never decode silently wrong.
+func TestManifestDetectsCorruption(t *testing.T) {
+	enc := sampleManifest().Encode()
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x20
+		if m, err := DecodeManifest(bad); err == nil {
+			// A flip inside the name of a node could in principle collide,
+			// but CRC32-C over the whole body catches single-byte flips.
+			t.Fatalf("flip at byte %d decoded silently: %+v", i, m)
+		}
+	}
+	// Truncation too.
+	for _, cut := range []int{1, len(enc) / 2, len(enc) - 2} {
+		if _, err := DecodeManifest(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded silently", cut)
+		}
+	}
+	if _, err := DecodeManifest(nil); err == nil {
+		t.Fatal("empty manifest decoded")
+	}
+	// The checksum failure is typed: a scrubber distinguishes bit rot
+	// from structural damage.
+	bad := append([]byte(nil), enc...)
+	bad[20] ^= 0xFF
+	if _, err := DecodeManifest(bad); !errors.Is(err, codec.ErrChecksum) && !errors.Is(err, codec.ErrCorrupt) {
+		if err == nil {
+			t.Fatal("corrupt manifest decoded")
+		}
+	}
+}
+
+func TestObjectNames(t *testing.T) {
+	if got := ChunkName("a/b.ckpt", 7); got != "a/b.ckpt.s00000007" {
+		t.Fatalf("ChunkName = %q", got)
+	}
+	if got := ManifestName("a/b.ckpt"); got != "a/b.ckpt.crfsm" {
+		t.Fatalf("ManifestName = %q", got)
+	}
+	cases := []struct {
+		in   string
+		obj  string
+		idx  int
+		kind Kind
+	}{
+		{"a/b.ckpt.crfsm", "a/b.ckpt", 0, KindManifest},
+		{"a/b.ckpt.s00000007", "a/b.ckpt", 7, KindChunk},
+		{"x.s12345678", "x", 12345678, KindChunk},
+		{"plain-object", "", 0, KindOther},
+		{"x.s123", "", 0, KindOther},       // wrong width
+		{"x.sabcdefgh", "", 0, KindOther},  // not a number
+		{".crfsm", "", 0, KindOther},       // no object part
+		{"x.s00000001x", "", 0, KindOther}, // trailing junk
+	}
+	for _, tc := range cases {
+		obj, idx, kind := ParseObjectName(tc.in)
+		if obj != tc.obj || idx != tc.idx || kind != tc.kind {
+			t.Errorf("ParseObjectName(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.in, obj, idx, kind, tc.obj, tc.idx, tc.kind)
+		}
+	}
+	// Names must round-trip through the classifier.
+	obj, idx, kind := ParseObjectName(ChunkName("deep/dir/name", 42))
+	if obj != "deep/dir/name" || idx != 42 || kind != KindChunk {
+		t.Fatalf("chunk name did not round-trip: %q %d %v", obj, idx, kind)
+	}
+}

@@ -1,0 +1,506 @@
+package stripe
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"crfs/internal/codec"
+	"crfs/internal/server"
+)
+
+// DefaultChunkSize is the stripe unit. Large enough that per-chunk
+// round-trip overhead amortizes, small enough that a modest checkpoint
+// still spreads across every node.
+const DefaultChunkSize = 4 << 20
+
+// DefaultReplicas is the chunk replication factor.
+const DefaultReplicas = 2
+
+// DefaultPerNodeInFlight caps concurrent chunk transfers per node. The
+// cap is what makes striping scale honestly: a coordinator over N nodes
+// sustains N times the in-flight chunk transfers of a single node, no
+// matter how many goroutines the caller throws at it.
+const DefaultPerNodeInFlight = 4
+
+// Config tunes a Store. The zero value gets defaults.
+type Config struct {
+	ChunkSize       int64
+	Replicas        int
+	PerNodeInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.PerNodeInFlight <= 0 {
+		c.PerNodeInFlight = DefaultPerNodeInFlight
+	}
+	return c
+}
+
+// ErrNoNodes reports an operation on a store with no placeable nodes.
+var ErrNoNodes = errors.New("stripe: no nodes")
+
+// ErrChunkLost reports a chunk none of whose replicas could produce
+// fingerprint-clean bytes — data loss beyond what replication covers.
+var ErrChunkLost = errors.New("stripe: chunk lost on all replicas")
+
+// storeCounters aggregates coordinator activity. All fields are
+// atomics; snapshot via Stats.
+type storeCounters struct {
+	chunksPut        atomic.Int64
+	chunksGot        atomic.Int64
+	bytesPut         atomic.Int64
+	bytesGot         atomic.Int64
+	replicaFallbacks atomic.Int64
+	checksumFailed   atomic.Int64
+	chunksRepaired   atomic.Int64
+	manifestsFixed   atomic.Int64
+	straysDeleted    atomic.Int64
+	chunksMoved      atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of coordinator counters.
+type Stats struct {
+	ChunksPut        int64 // chunk replicas written (k per logical chunk)
+	ChunksGot        int64 // chunk reads served to restores
+	BytesPut         int64 // payload bytes written across all replicas
+	BytesGot         int64 // payload bytes delivered to restores
+	ReplicaFallbacks int64 // restore reads that failed over to another replica
+	ChecksumFailed   int64 // chunk reads whose fingerprint did not match
+	ChunksRepaired   int64 // bad or missing replicas rewritten from good copies
+	ManifestsFixed   int64 // manifest copies rewritten by scrub
+	StraysDeleted    int64 // unreferenced objects garbage-collected
+	ChunksMoved      int64 // replicas relocated by rebalancing
+}
+
+// Store is the striped-store coordinator. It is safe for concurrent
+// use; node membership changes serialize against each other but not
+// against data-path operations, which snapshot the member list.
+type Store struct {
+	cfg Config
+
+	nmu      sync.Mutex // guards nodes/draining; never held across node IO
+	nodes    map[string]Node
+	draining map[string]bool
+	slots    map[string]chan struct{} // per-node in-flight caps
+
+	c storeCounters
+}
+
+// New returns a coordinator over the given nodes.
+func New(cfg Config, nodes ...Node) *Store {
+	s := &Store{
+		cfg:      cfg.withDefaults(),
+		nodes:    make(map[string]Node),
+		draining: make(map[string]bool),
+		slots:    make(map[string]chan struct{}),
+	}
+	for _, n := range nodes {
+		s.Join(n)
+	}
+	return s
+}
+
+// Stats snapshots the coordinator counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		ChunksPut:        s.c.chunksPut.Load(),
+		ChunksGot:        s.c.chunksGot.Load(),
+		BytesPut:         s.c.bytesPut.Load(),
+		BytesGot:         s.c.bytesGot.Load(),
+		ReplicaFallbacks: s.c.replicaFallbacks.Load(),
+		ChecksumFailed:   s.c.checksumFailed.Load(),
+		ChunksRepaired:   s.c.chunksRepaired.Load(),
+		ManifestsFixed:   s.c.manifestsFixed.Load(),
+		StraysDeleted:    s.c.straysDeleted.Load(),
+		ChunksMoved:      s.c.chunksMoved.Load(),
+	}
+}
+
+// Join adds a node to the membership. New placements include it
+// immediately; existing objects migrate onto it only when Rebalance
+// runs.
+func (s *Store) Join(n Node) {
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
+	s.nodes[n.ID()] = n
+	delete(s.draining, n.ID())
+	if _, ok := s.slots[n.ID()]; !ok {
+		s.slots[n.ID()] = make(chan struct{}, s.cfg.PerNodeInFlight)
+	}
+}
+
+// Drain marks a node as leaving: it stops receiving new placements but
+// keeps serving reads. Run Rebalance to migrate its replicas away, then
+// Remove it.
+func (s *Store) Drain(id string) {
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
+	if _, ok := s.nodes[id]; ok {
+		s.draining[id] = true
+	}
+}
+
+// Remove detaches a node from the membership without closing it. Data
+// still on it is no longer reachable through the store; a prior
+// Drain+Rebalance makes that set empty.
+func (s *Store) Remove(id string) Node {
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
+	n := s.nodes[id]
+	delete(s.nodes, id)
+	delete(s.draining, id)
+	delete(s.slots, id)
+	return n
+}
+
+// members snapshots the data-path view: all attached nodes, plus the
+// IDs eligible for new placement (non-draining), sorted for determinism.
+func (s *Store) members() (all map[string]Node, placeable []string) {
+	s.nmu.Lock()
+	defer s.nmu.Unlock()
+	all = make(map[string]Node, len(s.nodes))
+	for id, n := range s.nodes {
+		all[id] = n
+		if !s.draining[id] {
+			placeable = append(placeable, id)
+		}
+	}
+	sort.Strings(placeable)
+	return all, placeable
+}
+
+// slot acquires an in-flight slot on node id, returning the release.
+// Unknown ids (node removed mid-operation) get a no-op slot; the IO
+// will fail on its own terms.
+func (s *Store) slot(id string) func() {
+	s.nmu.Lock()
+	ch, ok := s.slots[id]
+	s.nmu.Unlock()
+	if !ok {
+		return func() {}
+	}
+	ch <- struct{}{}
+	return func() { <-ch }
+}
+
+// Put stripes size bytes from r across the membership as one
+// checkpoint object. Chunks upload with bounded parallelism (the
+// per-node in-flight cap times the node count); the manifest commits
+// last, to every node, so a failed Put never leaves a restorable-looking
+// object — at worst unreferenced chunks that scrub collects.
+func (s *Store) Put(name string, r io.Reader, size int64) error {
+	if err := server.ValidateName(name); err != nil {
+		return fmt.Errorf("stripe: PUT: %w", err)
+	}
+	all, placeable := s.members()
+	if len(placeable) == 0 {
+		return ErrNoNodes
+	}
+	k := s.cfg.Replicas
+	if k > len(placeable) {
+		k = len(placeable)
+	}
+
+	nchunks := int((size + s.cfg.ChunkSize - 1) / s.cfg.ChunkSize)
+	m := &Manifest{
+		Object:    name,
+		Size:      size,
+		ChunkSize: s.cfg.ChunkSize,
+		Replicas:  k,
+		Chunks:    make([]Chunk, nchunks),
+	}
+
+	// The body must be read sequentially, but uploads overlap: each
+	// chunk is buffered, fingerprinted, and handed to goroutines that
+	// push its k replicas under the per-node caps. The window bounds
+	// buffered memory to inflight × ChunkSize.
+	inflight := len(placeable) * s.cfg.PerNodeInFlight
+	window := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	var fmu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		fmu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		fmu.Unlock()
+	}
+	failed := func() bool {
+		fmu.Lock()
+		defer fmu.Unlock()
+		return firstErr != nil
+	}
+
+	for idx := 0; idx < nchunks; idx++ {
+		if failed() {
+			break
+		}
+		length := s.cfg.ChunkSize
+		if rem := size - int64(idx)*s.cfg.ChunkSize; rem < length {
+			length = rem
+		}
+		buf := make([]byte, length)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			setErr(fmt.Errorf("stripe: PUT %s: reading body chunk %d: %w", name, idx, err))
+			break
+		}
+		chunk := Chunk{
+			Offset: int64(idx) * s.cfg.ChunkSize,
+			Length: length,
+			CRC:    codec.Checksum(buf),
+			Nodes:  Place(placeable, ChunkName(name, idx), k),
+		}
+		m.Chunks[idx] = chunk
+
+		window <- struct{}{}
+		wg.Add(1)
+		go func(idx int, buf []byte, chunk Chunk) {
+			defer wg.Done()
+			defer func() { <-window }()
+			cname := ChunkName(name, idx)
+			for _, id := range chunk.Nodes {
+				node := all[id]
+				release := s.slot(id)
+				err := node.Put(cname, bytes.NewReader(buf), chunk.Length)
+				release()
+				if err != nil {
+					setErr(fmt.Errorf("stripe: PUT %s: chunk %d to %s: %w", name, idx, id, err))
+					return
+				}
+				s.c.chunksPut.Add(1)
+				s.c.bytesPut.Add(chunk.Length)
+			}
+		}(idx, buf, chunk)
+	}
+	wg.Wait()
+	if failed() {
+		return firstErr
+	}
+	return s.writeManifest(all, m)
+}
+
+// writeManifest commits m to every attached node (draining included:
+// reads route through drained nodes until rebalancing finishes).
+func (s *Store) writeManifest(all map[string]Node, m *Manifest) error {
+	enc := m.Encode()
+	mname := ManifestName(m.Object)
+	var firstErr error
+	for _, id := range sortedIDs(all) {
+		if err := all[id].Put(mname, bytes.NewReader(enc), int64(len(enc))); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("stripe: manifest %s to %s: %w", mname, id, err)
+		}
+	}
+	return firstErr
+}
+
+// readManifest fetches and decodes the first intact manifest copy,
+// preferring placement order of the manifest name so repeated reads hit
+// the same copies.
+func (s *Store) readManifest(all map[string]Node, name string) (*Manifest, error) {
+	mname := ManifestName(name)
+	var lastErr error = fmt.Errorf("stripe: GET %s: %w", mname, ErrNoNodes)
+	for _, id := range sortedIDs(all) {
+		var buf bytes.Buffer
+		if _, err := all[id].Get(mname, &buf); err != nil {
+			lastErr = err
+			continue
+		}
+		m, err := DecodeManifest(buf.Bytes())
+		if err != nil {
+			lastErr = fmt.Errorf("stripe: manifest copy on %s: %w", id, err)
+			continue
+		}
+		return m, nil
+	}
+	return nil, lastErr
+}
+
+// Get restores object name into w, striping reads across the replica
+// holders with bounded parallelism and delivering chunks strictly in
+// order. Every chunk is verified against its manifest fingerprint; a
+// bad or unreachable replica fails over to the next, so the restore
+// succeeds as long as one clean copy of every chunk survives.
+func (s *Store) Get(name string, w io.Writer) (int64, error) {
+	if err := server.ValidateName(name); err != nil {
+		return 0, fmt.Errorf("stripe: GET: %w", err)
+	}
+	all, _ := s.members()
+	if len(all) == 0 {
+		return 0, ErrNoNodes
+	}
+	m, err := s.readManifest(all, name)
+	if err != nil {
+		return 0, err
+	}
+
+	type result struct {
+		buf []byte
+		err error
+	}
+	results := make([]chan result, len(m.Chunks))
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	// One fetcher per chunk, gated by a global window and the per-node
+	// caps; the writer drains results strictly in order.
+	inflight := len(all) * s.cfg.PerNodeInFlight
+	window := make(chan struct{}, inflight)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for idx := range m.Chunks {
+			select {
+			case window <- struct{}{}:
+			case <-done:
+				return
+			}
+			go func(idx int) {
+				defer func() { <-window }()
+				buf, err := s.fetchChunk(all, m, idx)
+				select {
+				case results[idx] <- result{buf: buf, err: err}:
+				case <-done:
+				}
+			}(idx)
+		}
+	}()
+
+	var n int64
+	for idx := range m.Chunks {
+		res := <-results[idx]
+		if res.err != nil {
+			return n, res.err
+		}
+		wn, werr := w.Write(res.buf)
+		n += int64(wn)
+		if werr != nil {
+			return n, fmt.Errorf("stripe: GET %s: writing chunk %d: %w", name, idx, werr)
+		}
+		s.c.chunksGot.Add(1)
+		s.c.bytesGot.Add(int64(wn))
+	}
+	if n != m.Size {
+		return n, fmt.Errorf("stripe: GET %s: delivered %d bytes, manifest says %d", name, n, m.Size)
+	}
+	return n, nil
+}
+
+// fetchChunk returns fingerprint-verified bytes for chunk idx, trying
+// replicas in placement order.
+func (s *Store) fetchChunk(all map[string]Node, m *Manifest, idx int) ([]byte, error) {
+	c := m.Chunks[idx]
+	cname := ChunkName(m.Object, idx)
+	var lastErr error
+	for tries, id := range c.Nodes {
+		node, ok := all[id]
+		if !ok {
+			lastErr = fmt.Errorf("stripe: GET %s: replica node %s detached", cname, id)
+			continue
+		}
+		var buf bytes.Buffer
+		buf.Grow(int(c.Length))
+		release := s.slot(id)
+		_, err := node.Get(cname, &buf)
+		release()
+		if err != nil {
+			lastErr = err
+			if tries < len(c.Nodes)-1 {
+				s.c.replicaFallbacks.Add(1)
+			}
+			continue
+		}
+		if int64(buf.Len()) != c.Length || codec.Checksum(buf.Bytes()) != c.CRC {
+			s.c.checksumFailed.Add(1)
+			lastErr = fmt.Errorf("stripe: GET %s on %s: %d bytes, fingerprint mismatch: %w",
+				cname, id, buf.Len(), codec.ErrChecksum)
+			if tries < len(c.Nodes)-1 {
+				s.c.replicaFallbacks.Add(1)
+			}
+			continue
+		}
+		return buf.Bytes(), nil
+	}
+	return nil, fmt.Errorf("%w: %s: last error: %w", ErrChunkLost, cname, lastErr)
+}
+
+// Delete removes object name: every chunk replica the manifest
+// references, then every manifest copy. Missing pieces are fine — the
+// verb is idempotent end to end.
+func (s *Store) Delete(name string) error {
+	all, _ := s.members()
+	if len(all) == 0 {
+		return ErrNoNodes
+	}
+	m, err := s.readManifest(all, name)
+	if err == nil {
+		for idx, c := range m.Chunks {
+			cname := ChunkName(name, idx)
+			for _, id := range c.Nodes {
+				if node, ok := all[id]; ok {
+					if derr := node.Delete(cname); derr != nil && err == nil {
+						err = derr
+					}
+				}
+			}
+		}
+	} else if errors.Is(err, ErrNotExist) {
+		err = nil
+	}
+	mname := ManifestName(name)
+	for _, id := range sortedIDs(all) {
+		if derr := all[id].Delete(mname); derr != nil && err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// List returns the store's object names — the union of manifests
+// visible on reachable nodes — sorted.
+func (s *Store) List() ([]string, error) {
+	all, _ := s.members()
+	seen := make(map[string]bool)
+	var reachable int
+	for _, id := range sortedIDs(all) {
+		names, err := all[id].List()
+		if err != nil {
+			continue
+		}
+		reachable++
+		for _, n := range names {
+			if obj, _, kind := ParseObjectName(n); kind == KindManifest {
+				seen[obj] = true
+			}
+		}
+	}
+	if reachable == 0 && len(all) > 0 {
+		return nil, fmt.Errorf("stripe: LIST: %w", ErrNoNodes)
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func sortedIDs(all map[string]Node) []string {
+	ids := make([]string, 0, len(all))
+	for id := range all {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
