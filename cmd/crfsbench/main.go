@@ -71,9 +71,22 @@
 //	crfsbench -nodes 3 -objsize 67108864 -stripe-chunk 1048576 -delay 2ms
 //	crfsbench -server :9000,:9001,:9002 -stripe-op put -objsize 8388608
 //
+// -obs-overhead measures the observability tax: the CPU-bound mix
+// workload runs with span tracing disabled and enabled and the
+// throughput delta is reported (-max-overhead-pct turns the report
+// into a gate). -check-trace validates a chrome-trace file written by
+// crfscp -trace: one trace ID must span the client, a daemon, and the
+// core IO pipeline across at least -check-procs distinct processes —
+// the end-to-end propagation check the striped CI flow relies on:
+//
+//	crfsbench -obs-overhead -codec raw -size 268435456 -max-overhead-pct 5
+//	crfsbench -check-trace trace.json -check-procs 4
+//
 // -json switches every -real/-restart/-crash/-compact/-server scenario
 // to machine-readable output: one JSON object per scenario on stdout,
-// so perf trajectories can be captured as BENCH_*.json.
+// so perf trajectories can be captured as BENCH_*.json. -real and
+// -restart rows include p50/p95/p99 stage latencies from the mount's
+// histograms.
 package main
 
 import (
@@ -122,10 +135,24 @@ func main() {
 	stripeChunk := flag.Int64("stripe-chunk", stripe.DefaultChunkSize, "stripe chunk size for striped modes")
 	replicas := flag.Int("replicas", stripe.DefaultReplicas, "chunk replication factor for striped modes")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per scenario instead of human-readable text")
+	obsOverhead := flag.Bool("obs-overhead", false, "measure the tracing tax: CPU-bound mix workload with spans off vs on")
+	maxOverhead := flag.Float64("max-overhead-pct", 0, "with -obs-overhead: fail if the overhead exceeds this percentage (0 = report only)")
+	checkTracePath := flag.String("check-trace", "", "validate a chrome-trace file: one trace must span client, daemon, and core pipeline")
+	checkProcs := flag.Int("check-procs", 2, "with -check-trace: minimum distinct processes one trace must cover")
 	flag.Parse()
 
 	emit := newEmitter(*jsonOut)
 	switch {
+	case *checkTracePath != "":
+		if err := checkTrace(emit, *checkTracePath, *checkProcs); err != nil {
+			fatal(err)
+		}
+		return
+	case *obsOverhead:
+		if err := obsOverheadBench(emit, *codecName, *size, *bs, *entropy, *readFrac, *maxOverhead); err != nil {
+			fatal(err)
+		}
+		return
 	case *nodes > 0:
 		if err := stripeSweep(emit, *nodes, *objSize, *stripeChunk, *replicas, *delay); err != nil {
 			fatal(err)
@@ -372,6 +399,9 @@ func realBench(emit *emitter, codecName string, size int64, bs int, entropy floa
 	}
 	el := time.Since(start).Seconds()
 	st := fs.Stats()
+	hist := fs.Histograms()
+	writeQ := quantilesOf(hist["write_at"])
+	backendQ := quantilesOf(hist["backend_write"])
 	moved := st.BytesWritten + st.BytesRead
 	scenario := "write"
 	if mix {
@@ -382,6 +412,8 @@ func realBench(emit *emitter, codecName string, size int64, bs int, entropy floa
 			cdc.Name(), frameV, st.BytesWritten, st.BytesRead, el, float64(moved)/el/(1<<20)),
 		fmt.Sprintf("app writes: %d, backend writes: %d (aggregation %.1fx), backend bytes: %d",
 			st.Writes, st.BackendWrites, st.AggregationRatio(), st.BackendBytes),
+		writeQ.format("write_at"),
+		backendQ.format("backend_write"),
 	}
 	if cs := st.Codec(); cs.Frames > 0 {
 		human = append(human, cs.Format())
@@ -390,24 +422,27 @@ func realBench(emit *emitter, codecName string, size int64, bs int, entropy floa
 		human = append(human, rp.Format())
 	}
 	emit.scenario(struct {
-		Scenario         string  `json:"scenario"`
-		Codec            string  `json:"codec"`
-		FrameVersion     int     `json:"frame_version"`
-		DelayUS          int64   `json:"delay_us"`
-		BytesWritten     int64   `json:"bytes_written"`
-		BytesRead        int64   `json:"bytes_read"`
-		Seconds          float64 `json:"seconds"`
-		MBps             float64 `json:"mbps"`
-		Writes           int64   `json:"writes"`
-		BackendWrites    int64   `json:"backend_writes"`
-		AggregationRatio float64 `json:"aggregation_ratio"`
-		BackendBytes     int64   `json:"backend_bytes"`
-		CodecRatio       float64 `json:"codec_ratio"`
-		ReadsFromBuffer  int64   `json:"reads_from_buffer"`
-		DrainsAvoided    int64   `json:"drains_avoided"`
+		Scenario         string    `json:"scenario"`
+		Codec            string    `json:"codec"`
+		FrameVersion     int       `json:"frame_version"`
+		DelayUS          int64     `json:"delay_us"`
+		BytesWritten     int64     `json:"bytes_written"`
+		BytesRead        int64     `json:"bytes_read"`
+		Seconds          float64   `json:"seconds"`
+		MBps             float64   `json:"mbps"`
+		Writes           int64     `json:"writes"`
+		BackendWrites    int64     `json:"backend_writes"`
+		AggregationRatio float64   `json:"aggregation_ratio"`
+		BackendBytes     int64     `json:"backend_bytes"`
+		CodecRatio       float64   `json:"codec_ratio"`
+		ReadsFromBuffer  int64     `json:"reads_from_buffer"`
+		DrainsAvoided    int64     `json:"drains_avoided"`
+		WriteLatency     quantiles `json:"write_latency"`
+		BackendLatency   quantiles `json:"backend_write_latency"`
 	}{scenario, cdc.Name(), frameV, delay.Microseconds(), st.BytesWritten, st.BytesRead, el,
 		float64(moved) / el / (1 << 20), st.Writes, st.BackendWrites, st.AggregationRatio(),
-		st.BackendBytes, st.CompressionRatio(), st.ReadsFromBuffer, st.ReadDrainsAvoided},
+		st.BackendBytes, st.CompressionRatio(), st.ReadsFromBuffer, st.ReadDrainsAvoided,
+		writeQ, backendQ},
 		human...)
 	return nil
 }
@@ -471,22 +506,25 @@ func restartBench(emit *emitter, codecName string, size int64, bs int, entropy f
 		return err
 	}
 	st := fs.Stats()
+	readQ := quantilesOf(fs.Histograms()["read_at"])
 	emit.scenario(struct {
-		Scenario  string  `json:"scenario"`
-		Codec     string  `json:"codec"`
-		ReadAhead int     `json:"readahead"`
-		DelayUS   int64   `json:"delay_us"`
-		Bytes     int64   `json:"bytes"`
-		Seconds   float64 `json:"seconds"`
-		MBps      float64 `json:"mbps"`
-		Hits      int64   `json:"prefetch_hits"`
-		Misses    int64   `json:"prefetch_misses"`
-		Wasted    int64   `json:"prefetch_wasted"`
+		Scenario    string    `json:"scenario"`
+		Codec       string    `json:"codec"`
+		ReadAhead   int       `json:"readahead"`
+		DelayUS     int64     `json:"delay_us"`
+		Bytes       int64     `json:"bytes"`
+		Seconds     float64   `json:"seconds"`
+		MBps        float64   `json:"mbps"`
+		Hits        int64     `json:"prefetch_hits"`
+		Misses      int64     `json:"prefetch_misses"`
+		Wasted      int64     `json:"prefetch_wasted"`
+		ReadLatency quantiles `json:"read_latency"`
 	}{"restart", cdc.Name(), readAhead, delay.Microseconds(), total, el,
-		float64(total) / el / (1 << 20), st.PrefetchHits, st.PrefetchMisses, st.PrefetchWasted},
+		float64(total) / el / (1 << 20), st.PrefetchHits, st.PrefetchMisses, st.PrefetchWasted, readQ},
 		fmt.Sprintf("restart: codec=%s readahead=%d delay=%v read %d bytes in %.3fs (%.1f MB/s)",
 			cdc.Name(), readAhead, delay, total, el, float64(total)/el/(1<<20)),
-		st.Prefetch().Format())
+		st.Prefetch().Format(),
+		readQ.format("read_at"))
 	return nil
 }
 

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	crfs "crfs"
+	"crfs/internal/memfs"
+	"crfs/internal/obs"
+)
+
+// quantiles is the per-stage latency summary attached to -real/-restart
+// scenarios, derived from the mount's lock-free stage histograms. All
+// values are microseconds, interpolated within histogram buckets
+// (Prometheus histogram_quantile style), so treat them as bucket-grade
+// estimates, not exact order statistics.
+type quantiles struct {
+	P50US float64 `json:"p50_us"`
+	P95US float64 `json:"p95_us"`
+	P99US float64 `json:"p99_us"`
+}
+
+func quantilesOf(s obs.HistogramSnapshot) quantiles {
+	const us = 1e3 // histogram values are nanoseconds
+	return quantiles{
+		P50US: s.Quantile(0.50) / us,
+		P95US: s.Quantile(0.95) / us,
+		P99US: s.Quantile(0.99) / us,
+	}
+}
+
+func (q quantiles) format(stage string) string {
+	return fmt.Sprintf("latency %s: p50=%.1fus p95=%.1fus p99=%.1fus", stage, q.P50US, q.P95US, q.P99US)
+}
+
+// obsOverheadBench measures the tracing tax: the CPU-bound mixed
+// read/write workload runs with spans disabled and again with a live
+// tracer recording every pipeline span, and the throughput delta is
+// the overhead. Each configuration runs `trials` times and the best
+// run counts, so scheduler noise does not masquerade as span cost.
+// A positive maxPct fails the run when the overhead exceeds it — the
+// CI gate for "tracing is cheap enough to leave compiled in".
+func obsOverheadBench(emit *emitter, codecName string, size int64, bs int, entropy, readFrac, maxPct float64) error {
+	if entropy < 0 || entropy > 1 {
+		return fmt.Errorf("crfsbench: -entropy %v out of range [0,1]", entropy)
+	}
+	if bs <= 0 || size <= 0 {
+		return fmt.Errorf("crfsbench: -size and -bs must be positive")
+	}
+	if readFrac < 0 || readFrac >= 1 {
+		return fmt.Errorf("crfsbench: -readfrac %v out of range [0,1)", readFrac)
+	}
+	cdc, err := crfs.LookupCodec(codecName)
+	if err != nil {
+		return err
+	}
+	const trials = 3
+	best := func(enabled bool) (float64, error) {
+		var top float64
+		for i := 0; i < trials; i++ {
+			mbps, err := mixRun(cdc, size, bs, entropy, readFrac, enabled)
+			if err != nil {
+				return 0, err
+			}
+			if mbps > top {
+				top = mbps
+			}
+		}
+		return top, nil
+	}
+	off, err := best(false)
+	if err != nil {
+		return err
+	}
+	on, err := best(true)
+	if err != nil {
+		return err
+	}
+	pct := (off - on) / off * 100
+	emit.scenario(struct {
+		Scenario    string  `json:"scenario"`
+		Codec       string  `json:"codec"`
+		Bytes       int64   `json:"bytes"`
+		MBpsOff     float64 `json:"mbps_off"`
+		MBpsOn      float64 `json:"mbps_on"`
+		OverheadPct float64 `json:"overhead_pct"`
+	}{"obs_overhead", cdc.Name(), size, off, on, pct},
+		fmt.Sprintf("obs overhead: codec=%s tracing off %.1f MB/s, on %.1f MB/s (%.2f%% overhead)",
+			cdc.Name(), off, on, pct))
+	if maxPct > 0 && pct > maxPct {
+		return fmt.Errorf("crfsbench: tracing overhead %.2f%% exceeds limit %.2f%%", pct, maxPct)
+	}
+	return nil
+}
+
+// mixRun executes one CPU-bound mixed read/write pass over an
+// in-memory backend (no synthetic delay — delay would hide span cost)
+// and returns the achieved MB/s. enabled selects whether the private
+// tracer records spans; both arms pay the same Options plumbing so the
+// comparison isolates the span fast path.
+func mixRun(cdc crfs.Codec, size int64, bs int, entropy, readFrac float64, enabled bool) (float64, error) {
+	tr := obs.New(obs.DefaultRingCapacity)
+	tr.SetProcess("crfsbench")
+	tr.SetEnabled(enabled)
+	fs, err := crfs.Mount(memfs.New(), crfs.Options{Codec: cdc, Tracer: tr})
+	if err != nil {
+		return 0, err
+	}
+	f, err := fs.Open("bench.img", crfs.ReadWrite|crfs.Create)
+	if err != nil {
+		fs.Unmount()
+		return 0, err
+	}
+	const poolLen = crfs.DefaultChunkSize
+	pool := payloadPool(bs)
+	rng := rand.New(rand.NewSource(1))
+	buf := make([]byte, bs)
+	rbuf := make([]byte, bs)
+	nrand := int(float64(bs) * entropy)
+	start := time.Now()
+	for off := int64(0); off < size; {
+		if off > 0 && rng.Float64() < readFrac {
+			if _, err := f.ReadAt(rbuf, rng.Int63n(off)); err != nil && err != io.EOF {
+				f.Close()
+				fs.Unmount()
+				return 0, err
+			}
+			continue
+		}
+		copy(buf[:nrand], pool[off%poolLen:])
+		if _, err := f.WriteAt(buf, off); err != nil {
+			f.Close()
+			fs.Unmount()
+			return 0, err
+		}
+		off += int64(bs)
+	}
+	if err := f.Close(); err != nil {
+		fs.Unmount()
+		return 0, err
+	}
+	if err := fs.Unmount(); err != nil {
+		return 0, err
+	}
+	el := time.Since(start).Seconds()
+	st := fs.Stats()
+	return float64(st.BytesWritten+st.BytesRead) / el / (1 << 20), nil
+}
+
+// chromeXEvent is the slice of the chrome://tracing event format the
+// -check-trace validator reads back: process metadata and complete
+// events with the trace/span IDs crfs stamps into args.
+type chromeXEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Args map[string]any `json:"args"`
+}
+
+// checkTrace validates a chrome-trace file produced by crfscp -trace
+// (or crfsd's /debug/trace): some single trace ID must span at least
+// minProcs distinct processes and include a client span (crfscp.*), a
+// daemon request span (crfsd.*), and a core pipeline span (crfs.*) —
+// i.e. one operation is visible end to end across process boundaries.
+// For the striped 3-node CI flow minProcs is 4 (client + 3 daemons).
+func checkTrace(emit *emitter, path string, minProcs int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []chromeXEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		// Also accept the object flavor some tools write.
+		var doc struct {
+			TraceEvents []chromeXEvent `json:"traceEvents"`
+		}
+		if err2 := json.Unmarshal(data, &doc); err2 != nil {
+			return fmt.Errorf("crfsbench: %s is not a chrome trace: %v", path, err)
+		}
+		events = doc.TraceEvents
+	}
+	procName := make(map[int]string)
+	for _, e := range events {
+		if e.Ph == "M" && e.Name == "process_name" {
+			if n, ok := e.Args["name"].(string); ok {
+				procName[e.Pid] = n
+			}
+		}
+	}
+	type traceInfo struct {
+		procs                map[string]bool
+		spans                int
+		client, daemon, core bool
+	}
+	per := make(map[string]*traceInfo)
+	for _, e := range events {
+		if e.Ph != "X" {
+			continue
+		}
+		id, _ := e.Args["trace"].(string)
+		if id == "" {
+			continue
+		}
+		ti := per[id]
+		if ti == nil {
+			ti = &traceInfo{procs: make(map[string]bool)}
+			per[id] = ti
+		}
+		ti.spans++
+		ti.procs[procName[e.Pid]] = true
+		switch {
+		case strings.HasPrefix(e.Name, "crfscp."):
+			ti.client = true
+		case strings.HasPrefix(e.Name, "crfsd."):
+			ti.daemon = true
+		case strings.HasPrefix(e.Name, "crfs."):
+			ti.core = true
+		}
+	}
+	var bestID string
+	var best *traceInfo
+	for id, ti := range per {
+		if !ti.client || !ti.daemon || !ti.core || len(ti.procs) < minProcs {
+			continue
+		}
+		if best == nil || ti.spans > best.spans {
+			bestID, best = id, ti
+		}
+	}
+	if best == nil {
+		var diag []string
+		for id, ti := range per {
+			diag = append(diag, fmt.Sprintf("  trace %s: %d spans, %d procs, client=%v daemon=%v core=%v",
+				id, ti.spans, len(ti.procs), ti.client, ti.daemon, ti.core))
+		}
+		sort.Strings(diag)
+		return fmt.Errorf("crfsbench: %s: no trace spans client+daemon+core pipeline across >=%d processes\n%s",
+			path, minProcs, strings.Join(diag, "\n"))
+	}
+	procs := make([]string, 0, len(best.procs))
+	for p := range best.procs {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	emit.scenario(struct {
+		Scenario string   `json:"scenario"`
+		Trace    string   `json:"trace"`
+		Spans    int      `json:"spans"`
+		Procs    []string `json:"procs"`
+	}{"check_trace", bestID, best.spans, procs},
+		fmt.Sprintf("check-trace: trace %s spans %d processes (%s), %d spans, client+daemon+core pipeline all present",
+			bestID, len(procs), strings.Join(procs, ", "), best.spans))
+	return nil
+}

@@ -36,6 +36,13 @@
 // written to the destination filesystem. Read them back through a CRFS
 // mount (any codec setting), which decodes containers transparently.
 //
+// -trace FILE records the whole operation as spans — crfscp's own
+// copy/restore spans, the CRFS pipeline's write/encode/backend spans,
+// and (in network modes) every participating daemon's request and
+// pipeline spans, fetched over the TRACE verb and joined by the
+// propagated trace IDs — and writes them as one chrome://tracing JSON
+// document: open it at chrome://tracing or https://ui.perfetto.dev.
+//
 // -restore runs the opposite direction (the restart half of C/R): each
 // SRC is read sequentially *through* a CRFS mount over its directory —
 // decoding frame containers transparently, with -readahead chunks/frames
@@ -54,8 +61,86 @@ import (
 
 	crfs "crfs"
 	"crfs/internal/client"
+	"crfs/internal/obs"
 	"crfs/internal/stripe"
 )
+
+// traceRun is the -trace plumbing: a local tracer recording crfscp's
+// own spans, the trace IDs of each operation's root span, and the
+// output path. A nil *traceRun is the disabled state — every method is
+// a no-op — so call sites need no conditionals.
+type traceRun struct {
+	tr     *obs.Tracer
+	traces []obs.TraceID
+	file   string
+}
+
+func newTraceRun(file string) *traceRun {
+	if file == "" {
+		return nil
+	}
+	tr := obs.New(obs.DefaultRingCapacity)
+	tr.SetProcess("crfscp")
+	tr.SetEnabled(true)
+	return &traceRun{tr: tr, file: file}
+}
+
+// tracer returns the run's tracer, nil when tracing is off (nil
+// selects the disabled obs.Default in mount and stripe configs).
+func (t *traceRun) tracer() *obs.Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.tr
+}
+
+// span opens a root span for one operation and remembers its trace ID
+// for the final per-node dump collection.
+func (t *traceRun) span(name, file string) obs.Span {
+	if t == nil {
+		return obs.Span{}
+	}
+	sp := t.tr.Start(name)
+	sp.Attr("file", file)
+	t.traces = append(t.traces, sp.Context().Trace)
+	return sp
+}
+
+// write merges crfscp's own spans with each operation trace's spans
+// fetched from the participating daemons (dump, nil for local-only
+// modes) and writes the whole run as one chrome://tracing document.
+func (t *traceRun) write(dump func(obs.TraceID) []obs.SpanRecord) error {
+	if t == nil {
+		return nil
+	}
+	recs := t.tr.Snapshot()
+	if dump != nil {
+		seen := make(map[obs.TraceID]bool)
+		for _, id := range t.traces {
+			if id == 0 || seen[id] {
+				continue
+			}
+			seen[id] = true
+			recs = append(recs, dump(id)...)
+		}
+	}
+	if err := os.WriteFile(t.file, obs.ChromeTrace(recs), 0o644); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	fmt.Printf("trace: %d spans -> %s\n", len(recs), t.file)
+	return nil
+}
+
+// setSpanContext plants a trace context on a mount file handle so the
+// core pipeline's spans join the operation's trace.
+func setSpanContext(f crfs.File, ctx obs.SpanContext) {
+	if !ctx.Valid() {
+		return
+	}
+	if t, ok := f.(interface{ SetSpanContext(obs.SpanContext) }); ok {
+		t.SetSpanContext(ctx)
+	}
+}
 
 func main() {
 	chunk := flag.Int64("chunk", crfs.DefaultChunkSize, "CRFS chunk size in bytes")
@@ -72,19 +157,21 @@ func main() {
 	stripeChunk := flag.Int64("stripe-chunk", stripe.DefaultChunkSize, "with -nodes: stripe unit in bytes")
 	scrub := flag.Bool("scrub", false, "with -nodes: verify every replica against its manifest fingerprint and repair bad copies")
 	redials := flag.Int("redials", 2, "network modes: automatic reconnects per daemon connection")
+	traceFile := flag.String("trace", "", "write a chrome://tracing JSON of the whole operation — crfscp's spans merged with every participating daemon's — to this file")
 	flag.Parse()
 	args := flag.Args()
+	trun := newTraceRun(*traceFile)
 	if *nodesList != "" {
 		err := stripedMode(strings.Split(*nodesList, ","), *restore, *scrub, stripe.Config{
-			ChunkSize: *stripeChunk, Replicas: *replicas,
-		}, *redials, args)
+			ChunkSize: *stripeChunk, Replicas: *replicas, Tracer: trun.tracer(),
+		}, *redials, args, trun)
 		if err != nil {
 			fatal(err)
 		}
 		return
 	}
 	if *serverAddr != "" {
-		if err := serverMode(*serverAddr, *restore, *redials, args); err != nil {
+		if err := serverMode(*serverAddr, *restore, *redials, args, trun); err != nil {
 			fatal(err)
 		}
 		return
@@ -99,7 +186,7 @@ func main() {
 		fatal(err)
 	}
 	if *restore {
-		if err := restoreAll(srcs, dst, *bs, *chunk, *pool, *threads, *readAhead, *repair); err != nil {
+		if err := restoreAll(srcs, dst, *bs, *chunk, *pool, *threads, *readAhead, *repair, trun); err != nil {
 			fatal(err)
 		}
 		return
@@ -110,7 +197,7 @@ func main() {
 	}
 	fs, err := crfs.MountDir(dst, crfs.Options{
 		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads, Codec: cdc,
-		RepairOnOpen: *repair,
+		RepairOnOpen: *repair, Tracer: trun.tracer(),
 	})
 	if err != nil {
 		fatal(err)
@@ -118,7 +205,9 @@ func main() {
 	start := time.Now()
 	var total int64
 	for _, src := range srcs {
-		n, err := copyOne(fs, src, *bs)
+		sp := trun.span("crfscp.copy", src)
+		n, err := copyOne(fs, src, *bs, sp.Context())
+		sp.End()
 		if err != nil {
 			fs.Unmount()
 			fatal(err)
@@ -126,6 +215,9 @@ func main() {
 		total += n
 	}
 	if err := fs.Unmount(); err != nil {
+		fatal(err)
+	}
+	if err := trun.write(nil); err != nil {
 		fatal(err)
 	}
 	el := time.Since(start).Seconds()
@@ -138,7 +230,7 @@ func main() {
 	}
 }
 
-func copyOne(fs *crfs.FS, src string, bs int) (int64, error) {
+func copyOne(fs *crfs.FS, src string, bs int, ctx obs.SpanContext) (int64, error) {
 	in, err := os.Open(src)
 	if err != nil {
 		return 0, err
@@ -148,6 +240,7 @@ func copyOne(fs *crfs.FS, src string, bs int) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	setSpanContext(out, ctx)
 	buf := make([]byte, bs)
 	var off int64
 	for {
@@ -173,7 +266,7 @@ func copyOne(fs *crfs.FS, src string, bs int) (int64, error) {
 // restoreAll copies each src out of a CRFS mount over its directory into
 // dst as a plain file. Mounts are shared per source directory, so the
 // per-mount stats aggregate all files restored from that directory.
-func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, readAhead int, repair bool) error {
+func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, readAhead int, repair bool, trun *traceRun) error {
 	mounts := make(map[string]*crfs.FS)
 	defer func() {
 		for _, fs := range mounts {
@@ -189,14 +282,16 @@ func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, r
 			var err error
 			fs, err = crfs.MountDir(dir, crfs.Options{
 				ChunkSize: chunk, BufferPoolSize: pool, IOThreads: threads, ReadAhead: readAhead,
-				RepairOnOpen: repair,
+				RepairOnOpen: repair, Tracer: trun.tracer(),
 			})
 			if err != nil {
 				return err
 			}
 			mounts[dir] = fs
 		}
-		n, err := restoreOne(fs, filepath.Base(src), filepath.Join(dst, filepath.Base(src)), bs)
+		sp := trun.span("crfscp.restore", src)
+		n, err := restoreOne(fs, filepath.Base(src), filepath.Join(dst, filepath.Base(src)), bs, sp.Context())
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -216,18 +311,19 @@ func restoreAll(srcs []string, dst string, bs int, chunk, pool int64, threads, r
 			fmt.Printf("%s: %s\n", dir, rc.Format())
 		}
 	}
-	return nil
+	return trun.write(nil)
 }
 
 // restoreOne streams one file out of the mount into a plain destination
 // file with sequential bs-sized reads — the access pattern the restart
 // read pipeline accelerates.
-func restoreOne(fs *crfs.FS, name, dst string, bs int) (int64, error) {
+func restoreOne(fs *crfs.FS, name, dst string, bs int, ctx obs.SpanContext) (int64, error) {
 	in, err := fs.Open(name, crfs.ReadOnly)
 	if err != nil {
 		return 0, err
 	}
 	defer in.Close()
+	setSpanContext(in, ctx)
 	out, err := os.Create(dst)
 	if err != nil {
 		return 0, err
@@ -256,7 +352,7 @@ func restoreOne(fs *crfs.FS, name, dst string, bs int) (int64, error) {
 
 // serverMode moves files over the wire to/from a crfsd daemon on one
 // persistent protocol-v2 connection.
-func serverMode(addr string, restore bool, redials int, args []string) error {
+func serverMode(addr string, restore bool, redials int, args []string, trun *traceRun) error {
 	if len(args) < 1 || (restore && len(args) < 2) {
 		fmt.Fprintln(os.Stderr, "usage: crfscp -server host:port SRC...")
 		fmt.Fprintln(os.Stderr, "       crfscp -server host:port -restore NAME... DSTDIR")
@@ -279,7 +375,9 @@ func serverMode(addr string, restore bool, redials int, args []string) error {
 			if err != nil {
 				return err
 			}
-			n, err := c.Get(name, out)
+			sp := trun.span("crfscp.get", name)
+			n, err := c.GetTraced(name, out, sp.Context())
+			sp.End()
 			if cerr := out.Close(); err == nil {
 				err = cerr
 			}
@@ -290,7 +388,7 @@ func serverMode(addr string, restore bool, redials int, args []string) error {
 		}
 		el := time.Since(start).Seconds()
 		fmt.Printf("fetched %d bytes in %.3fs (%.1f MB/s)\n", total, el, float64(total)/el/(1<<20))
-		return nil
+		return trun.write(clientDump(c))
 	}
 	for _, src := range args {
 		in, err := os.Open(src)
@@ -302,7 +400,9 @@ func serverMode(addr string, restore bool, redials int, args []string) error {
 			in.Close()
 			return err
 		}
-		err = c.Put(filepath.Base(src), in, info.Size())
+		sp := trun.span("crfscp.put", src)
+		err = c.PutTraced(filepath.Base(src), in, info.Size(), sp.Context())
+		sp.End()
 		in.Close()
 		if err != nil {
 			return fmt.Errorf("PUT %s: %w", src, err)
@@ -314,14 +414,26 @@ func serverMode(addr string, restore bool, redials int, args []string) error {
 	if line, err := c.Stat(); err == nil {
 		fmt.Println(line)
 	}
-	return nil
+	return trun.write(clientDump(c))
+}
+
+// clientDump adapts a single-daemon client to the traceRun dump shape;
+// a daemon without trace support contributes nothing.
+func clientDump(c *client.Client) func(obs.TraceID) []obs.SpanRecord {
+	return func(id obs.TraceID) []obs.SpanRecord {
+		recs, err := c.TraceDump(id)
+		if err != nil {
+			return nil
+		}
+		return recs
+	}
 }
 
 // stripedMode moves checkpoints through the striped multi-node store:
 // chunks fan out to (and stream back from) every listed daemon in
 // parallel, with replication and manifest fingerprints carrying the
 // durability story.
-func stripedMode(addrs []string, restore, scrub bool, cfg stripe.Config, redials int, args []string) error {
+func stripedMode(addrs []string, restore, scrub bool, cfg stripe.Config, redials int, args []string, trun *traceRun) error {
 	if !scrub && (len(args) < 1 || (restore && len(args) < 2)) {
 		fmt.Fprintln(os.Stderr, "usage: crfscp -nodes a:9000,b:9000,... SRC...")
 		fmt.Fprintln(os.Stderr, "       crfscp -nodes a:9000,b:9000,... -restore NAME... DSTDIR")
@@ -358,6 +470,9 @@ func stripedMode(addrs []string, restore, scrub bool, cfg stripe.Config, redials
 	if scrub {
 		rep, err := s.Scrub()
 		fmt.Printf("scrub over %d nodes in %.3fs: %s\n", len(nodes), time.Since(start).Seconds(), rep)
+		if err == nil {
+			err = trun.write(s.TraceDumps)
+		}
 		return err
 	}
 	var total int64
@@ -371,7 +486,9 @@ func stripedMode(addrs []string, restore, scrub bool, cfg stripe.Config, redials
 			if err != nil {
 				return err
 			}
-			n, err := s.Get(name, out)
+			sp := trun.span("crfscp.get", name)
+			n, err := s.GetTraced(name, out, sp.Context())
+			sp.End()
 			if cerr := out.Close(); err == nil {
 				err = cerr
 			}
@@ -384,7 +501,7 @@ func stripedMode(addrs []string, restore, scrub bool, cfg stripe.Config, redials
 		st := s.Stats()
 		fmt.Printf("restored %d bytes from %d nodes in %.3fs (%.1f MB/s)\n", total, len(nodes), el, float64(total)/el/(1<<20))
 		fmt.Printf("chunks=%d fallbacks=%d checksum_failures=%d\n", st.ChunksGot, st.ReplicaFallbacks, st.ChecksumFailed)
-		return nil
+		return trun.write(s.TraceDumps)
 	}
 	for _, src := range args {
 		in, err := os.Open(src)
@@ -396,7 +513,9 @@ func stripedMode(addrs []string, restore, scrub bool, cfg stripe.Config, redials
 			in.Close()
 			return err
 		}
-		err = s.Put(filepath.Base(src), in, info.Size())
+		sp := trun.span("crfscp.put", src)
+		err = s.PutTraced(filepath.Base(src), in, info.Size(), sp.Context())
+		sp.End()
 		in.Close()
 		if err != nil {
 			return fmt.Errorf("striped PUT %s: %w", src, err)
@@ -407,7 +526,7 @@ func stripedMode(addrs []string, restore, scrub bool, cfg stripe.Config, redials
 	st := s.Stats()
 	fmt.Printf("striped %d bytes to %d nodes in %.3fs (%.1f MB/s)\n", total, len(nodes), el, float64(total)/el/(1<<20))
 	fmt.Printf("chunk replicas=%d replica bytes=%d\n", st.ChunksPut, st.BytesPut)
-	return nil
+	return trun.write(s.TraceDumps)
 }
 
 func fatal(err error) {

@@ -18,6 +18,17 @@
 // requests, close the filesystem, exit 0. With -metrics it also serves
 // the full Stats tree in Prometheus text format at /metrics.
 //
+// With -trace the daemon records spans for every request and every
+// stage of the IO pipeline into an in-memory ring, joined to the
+// client's trace when the request line carries a propagated trace ID;
+// clients fetch the ring with the TRACE verb (crfscp -trace merges the
+// dumps of a whole striped store into one chrome://tracing file).
+// -debug-addr serves live introspection: /metrics (counters plus
+// latency histograms), /debug/pprof/ (CPU, heap, contention profiles),
+// and /debug/trace (the ring as a chrome://tracing document). -slow-ms
+// logs any traced request slower than the threshold with its full span
+// tree.
+//
 // With -compact-ratio the daemon compacts rewrite-heavy containers
 // online: after each PUT (and on the -compact-interval cadence) any
 // container whose dead-byte ratio crosses the threshold is rewritten to
@@ -35,6 +46,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,6 +54,7 @@ import (
 	"time"
 
 	crfs "crfs"
+	"crfs/internal/obs"
 	"crfs/internal/server"
 )
 
@@ -58,6 +71,10 @@ func main() {
 	compactMin := flag.Int64("compact-min-bytes", 1<<20, "minimum reclaimable bytes before a container is compacted")
 	compactEvery := flag.Duration("compact-interval", 0, "background re-check cadence for open containers (0 disables the background pass)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus metrics on this address at /metrics (empty disables)")
+	debugAddr := flag.String("debug-addr", "", "serve live introspection on this address: /metrics, /debug/pprof/, /debug/trace (empty disables)")
+	trace := flag.Bool("trace", false, "record pipeline and request spans into the in-memory trace ring")
+	traceRing := flag.Int("trace-ring", obs.DefaultRingCapacity, "trace ring capacity in spans (oldest evicted first)")
+	slowMS := flag.Int("slow-ms", 0, "log any traced request slower than this many milliseconds, with its span tree (0 disables)")
 	maxConns := flag.Int("max-conns", server.DefaultMaxConns, "cap on concurrently served connections")
 	maxInFlight := flag.Int("max-inflight", server.DefaultMaxInFlight, "cap on concurrent requests per connection")
 	maxPutBytes := flag.Int64("max-put-bytes", 0, "reject PUTs declaring a larger body (0 = unlimited)")
@@ -72,17 +89,29 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// One tracer spans the whole daemon: the mount's IO pipeline and the
+	// server's request handling land in the same ring, so a TRACE dump
+	// (or /debug/trace) shows a request end to end.
+	tr := obs.New(*traceRing)
+	tr.SetProcess("crfsd:" + *addr)
+	tr.SetEnabled(*trace)
+	if *slowMS > 0 {
+		tr.SetSlowThreshold(time.Duration(*slowMS) * time.Millisecond)
+		tr.SetLogf(log.Printf)
+	}
 	fs, err := crfs.MountDir(*dir, crfs.Options{
 		ChunkSize: *chunk, BufferPoolSize: *pool, IOThreads: *threads, Codec: cdc,
 		ReadAhead: *readAhead, RepairOnOpen: *repair,
 		Compaction: crfs.CompactionPolicy{
 			MinDeadRatio: *compactRatio, MinDeadBytes: *compactMin, Interval: *compactEvery,
 		},
+		Tracer: tr,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv := server.New(fs, server.Config{
+		Tracer:        tr,
 		MaxConns:      *maxConns,
 		MaxInFlight:   *maxInFlight,
 		MaxPutBytes:   *maxPutBytes,
@@ -119,6 +148,36 @@ func main() {
 		log.Printf("crfsd: metrics on http://%s/metrics", mln.Addr())
 	}
 
+	// The debug endpoint is live introspection for a running daemon: the
+	// Prometheus exposition (counters + latency histograms), the Go
+	// pprof profiles, and the trace ring rendered as a chrome://tracing
+	// document.
+	var dsrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", srv.MetricsHandler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(obs.ChromeTrace(tr.Snapshot()))
+		})
+		dsrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("crfsd: debug server: %v", err)
+			}
+		}()
+		log.Printf("crfsd: debug on http://%s (/metrics /debug/pprof/ /debug/trace)", dln.Addr())
+	}
+
 	log.Printf("crfsd: serving %s on %s (chunk=%d pool=%d threads=%d codec=%s readahead=%d repair=%v compact-ratio=%v max-conns=%d max-inflight=%d)",
 		*dir, ln.Addr(), *chunk, *pool, *threads, cdc.Name(), *readAhead, *repair, *compactRatio, *maxConns, *maxInFlight)
 
@@ -141,6 +200,9 @@ func main() {
 	}
 	if msrv != nil {
 		msrv.Close()
+	}
+	if dsrv != nil {
+		dsrv.Close()
 	}
 	if err := fs.Unmount(); err != nil {
 		log.Fatalf("crfsd: unmount: %v", err)

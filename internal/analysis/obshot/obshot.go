@@ -1,0 +1,251 @@
+// Package obshot enforces the observability hot-path contract of
+// DESIGN.md's "Observability" section: instrumentation is always
+// compiled in, so its disabled cost must stay at one atomic load and
+// zero allocation, and histograms must stay lock-free.
+//
+// Three rules:
+//
+//  1. Span fast paths guard first: in the fast-path methods of
+//     tracer/span types (Start, StartChild, StartRemote, Attr, AttrInt,
+//     End, Context, Active, Enabled), no allocation (make, new, append,
+//     non-empty composite literal, closure, fmt call) and no mutex
+//     Lock/RLock may execute before the disabled guard — the first `if`
+//     that returns early off an Enabled()/Active() check or a nil
+//     comparison. Work after the guard runs only when tracing is on and
+//     is fair game.
+//
+//  2. Histogram methods are lock- and allocation-free throughout:
+//     Observe on a histogram type has no disabled switch — it runs on
+//     every hot-path operation unconditionally — so the whole body is
+//     held to the fast-path standard.
+//
+//  3. Histogram structs are atomics plus immutable configuration: a
+//     struct named like a histogram that carries sync/atomic fields
+//     must not also carry plain integer/bool fields (racy mixed
+//     counters) or a mutex (the type's contract is lock-free).
+package obshot
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"crfs/internal/analysis"
+)
+
+// Analyzer is the obshot check.
+var Analyzer = &analysis.Analyzer{
+	Name:          "obshot",
+	Doc:           "span fast paths must not allocate or lock before the disabled guard; histograms stay lock-free atomics",
+	SkipTestFiles: true,
+	Run:           run,
+}
+
+// fastPathMethods are the methods called from instrumented hot paths
+// regardless of whether tracing is enabled.
+var fastPathMethods = map[string]bool{
+	"Start": true, "StartChild": true, "StartRemote": true,
+	"Attr": true, "AttrInt": true, "End": true,
+	"Context": true, "Active": true, "Enabled": true,
+	"Observe": true,
+}
+
+func run(pass *analysis.Pass) error {
+	checkHistogramStructs(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fastPathMethods[fd.Name.Name] {
+				continue
+			}
+			recv := receiverTypeName(fd)
+			lower := strings.ToLower(recv)
+			isHist := strings.Contains(lower, "histogram")
+			isSpan := strings.Contains(lower, "tracer") || strings.Contains(lower, "span")
+			switch {
+			case isHist:
+				// Rule 2: no disabled switch exists; the whole body is hot.
+				for _, stmt := range fd.Body.List {
+					reportViolations(pass, stmt, fd.Name.Name, recv, "on the always-on histogram path")
+				}
+			case isSpan:
+				// Rule 1: statements up to the disabled guard are the
+				// unconditional cost of an instrumentation site.
+				for _, stmt := range fd.Body.List {
+					if isDisabledGuard(stmt) {
+						break
+					}
+					reportViolations(pass, stmt, fd.Name.Name, recv, "before the disabled guard")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func receiverTypeName(fd *ast.FuncDecl) string {
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isDisabledGuard recognizes the canonical early-out: an if whose body
+// returns and whose condition consults the enabled switch (an
+// Enabled/Active call) or compares something to nil (the nil-tracer
+// no-op contract).
+func isDisabledGuard(stmt ast.Stmt) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	returns := false
+	for _, s := range ifs.Body.List {
+		if _, ok := s.(*ast.ReturnStmt); ok {
+			returns = true
+		}
+	}
+	if !returns {
+		return false
+	}
+	guard := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Enabled" || sel.Sel.Name == "Active" {
+					guard = true
+				}
+			}
+		case *ast.Ident:
+			if n.Name == "nil" {
+				guard = true
+			}
+		}
+		return true
+	})
+	return guard
+}
+
+// reportViolations flags allocations and lock acquisitions anywhere in
+// the statement subtree.
+func reportViolations(pass *analysis.Pass, stmt ast.Stmt, method, recv, where string) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "make" || fun.Name == "new" || fun.Name == "append" {
+					pass.Reportf(n.Pos(), "%s.%s allocates (%s) %s: disabled tracing must cost one atomic load",
+						recv, method, fun.Name, where)
+				}
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "Lock", "RLock":
+					pass.Reportf(n.Pos(), "%s.%s locks %s: observability hot paths are lock-free by contract",
+						recv, method, where)
+				case "Sprintf", "Errorf", "Sprint", "Sprintln":
+					if isPkgCall(pass, fun, "fmt") {
+						pass.Reportf(n.Pos(), "%s.%s formats via fmt %s: disabled tracing must not allocate",
+							recv, method, where)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if len(n.Elts) > 0 {
+				pass.Reportf(n.Pos(), "%s.%s builds a composite literal %s: disabled tracing must not allocate",
+					recv, method, where)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "%s.%s builds a closure %s: disabled tracing must not allocate",
+				recv, method, where)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "%s.%s spawns a goroutine %s", recv, method, where)
+		}
+		return true
+	})
+}
+
+func isPkgCall(pass *analysis.Pass, sel *ast.SelectorExpr, pkg string) bool {
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == pkg
+}
+
+// checkHistogramStructs applies rule 3: histogram-named structs with
+// atomic fields hold only atomics and immutable configuration.
+func checkHistogramStructs(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || !strings.Contains(strings.ToLower(ts.Name.Name), "histogram") {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			hasAtomic := false
+			for _, field := range st.Fields.List {
+				if tv, ok := pass.Info.Types[field.Type]; ok && isAtomicType(tv.Type) {
+					hasAtomic = true
+				}
+			}
+			if !hasAtomic {
+				// Snapshot/exposition structs (PromHistogram,
+				// HistogramSnapshot) are plain data, not shared state.
+				return true
+			}
+			for _, field := range st.Fields.List {
+				tv, ok := pass.Info.Types[field.Type]
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					switch {
+					case isPlainCounterType(tv.Type):
+						pass.Reportf(name.Pos(), "plain %s field %s in histogram struct %s: use a sync/atomic type (racy mixed access)",
+							tv.Type, name.Name, ts.Name.Name)
+					case isMutexType(tv.Type):
+						pass.Reportf(name.Pos(), "mutex field %s in histogram struct %s: histograms are lock-free by contract",
+							name.Name, ts.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+func isPlainCounterType(t types.Type) bool {
+	basic, ok := types.Unalias(t).Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return basic.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+func isMutexType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

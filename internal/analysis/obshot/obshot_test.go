@@ -1,0 +1,11 @@
+package obshot
+
+import (
+	"testing"
+
+	"crfs/internal/analysis/analysistest"
+)
+
+func TestObsHot(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "a")
+}

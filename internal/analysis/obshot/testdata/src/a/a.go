@@ -1,0 +1,142 @@
+// Package a exercises the obshot analyzer: span fast paths that pay
+// alloc/lock cost before the disabled guard, and histogram structs
+// that break the lock-free contract.
+package a
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+type Span struct {
+	t    *Tracer
+	name string
+}
+
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	ring    []Span
+}
+
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Start guards first: everything below the guard runs only when
+// enabled. Clean.
+func (t *Tracer) Start(name string) Span {
+	if !t.Enabled() {
+		return Span{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Span{t: t, name: name}
+}
+
+// StartChild locks before checking the switch: the disabled path pays
+// a mutex.
+func (t *Tracer) StartChild(name string) Span {
+	t.mu.Lock() // want `Tracer.StartChild locks before the disabled guard`
+	defer t.mu.Unlock()
+	if !t.Enabled() {
+		return Span{}
+	}
+	return Span{t: t, name: name}
+}
+
+// StartRemote allocates before the guard: the disabled path pays an
+// append and a formatted string.
+func (t *Tracer) StartRemote(name string) Span {
+	labels := append([]string(nil), name) // want `Tracer.StartRemote allocates \(append\) before the disabled guard`
+	msg := fmt.Sprintf("start %s", name)  // want `Tracer.StartRemote formats via fmt before the disabled guard`
+	if !t.Enabled() {
+		return Span{}
+	}
+	_, _ = labels, msg
+	return Span{t: t, name: name}
+}
+
+// Attr guards on the nil-tracer contract, then does its work. Clean.
+func (s *Span) Attr(key, val string) {
+	if s.t == nil {
+		return
+	}
+	s.name = key + "=" + val
+}
+
+// AttrInt builds a composite literal before the guard.
+func (s *Span) AttrInt(key string, val int64) {
+	kv := []int64{val} // want `Span.AttrInt builds a composite literal before the disabled guard`
+	if s.t == nil {
+		return
+	}
+	_ = kv
+	_ = key
+}
+
+// End is all post-guard work. Clean.
+func (s *Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.ring = append(s.t.ring, *s)
+	s.t.mu.Unlock()
+}
+
+// Histogram mixes a plain counter and a mutex into an atomic struct.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64
+	sum    atomic.Int64
+	dirty  int64      // want `plain int64 field dirty in histogram struct Histogram`
+	mu     sync.Mutex // want `mutex field mu in histogram struct Histogram`
+}
+
+// Observe on a histogram has no disabled switch: the whole body is
+// hot, so the lock is flagged wherever it sits.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock() // want `Histogram.Observe locks on the always-on histogram path`
+	h.counts[0].Add(1)
+	h.sum.Add(v)
+	h.mu.Unlock()
+}
+
+// cleanHistogram is the contract-conforming shape: atomics plus
+// immutable bounds, and a pure atomic Observe.
+type cleanHistogram struct {
+	bounds []int64
+	counts []atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+func (h *cleanHistogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot has no atomic fields: plain exposition data, out
+// of scope.
+type HistogramSnapshot struct {
+	Bounds []int64
+	Counts []int64
+	Sum    int64
+	Count  int64
+}

@@ -11,6 +11,7 @@ import (
 	"crfs/internal/analysis/decodeverify"
 	"crfs/internal/analysis/errwrap"
 	"crfs/internal/analysis/lockorder"
+	"crfs/internal/analysis/obshot"
 	"crfs/internal/analysis/workerqueue"
 )
 
@@ -21,6 +22,7 @@ var All = []*analysis.Analyzer{
 	errwrap.Analyzer,
 	decodeverify.Analyzer,
 	workerqueue.Analyzer,
+	obshot.Analyzer,
 }
 
 // ByName returns the named analyzers (comma-separated) from All, or All

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"crfs/internal/obs"
 	"crfs/internal/server"
 )
 
@@ -160,6 +161,15 @@ func (c *Client) retry(op func(*session) error) error {
 // rewound from here); a session death before r was touched redials and
 // retries within the budget.
 func (c *Client) Put(name string, r io.Reader, size int64) error {
+	return c.PutTraced(name, r, size, obs.SpanContext{})
+}
+
+// PutTraced is Put carrying a trace context: when the server
+// advertised trace=1 in its hello and ctx is valid, the request line
+// propagates ctx's trace ID so the daemon's spans for this PUT join
+// the caller's trace. Against an older server it behaves exactly like
+// Put.
+func (c *Client) PutTraced(name string, r io.Reader, size int64, ctx obs.SpanContext) error {
 	// Validate before any wire traffic: a bad name (a space would corrupt
 	// the verb line) must fail this one request, not the whole session.
 	if err := server.ValidateName(name); err != nil {
@@ -170,7 +180,7 @@ func (c *Client) Put(name string, r io.Reader, size int64) error {
 		if err != nil {
 			return err
 		}
-		consumed, err := s.put(name, r, size)
+		consumed, err := s.put(name, r, size, ctx)
 		if err == nil || !s.dead() {
 			return err
 		}
@@ -187,13 +197,18 @@ func (c *Client) Put(name string, r io.Reader, size int64) error {
 // redials and retries; after that, retrying would duplicate delivered
 // bytes, so the failure is surfaced instead.
 func (c *Client) Get(name string, w io.Writer) (int64, error) {
+	return c.GetTraced(name, w, obs.SpanContext{})
+}
+
+// GetTraced is Get carrying a trace context (see PutTraced).
+func (c *Client) GetTraced(name string, w io.Writer, ctx obs.SpanContext) (int64, error) {
 	if err := server.ValidateName(name); err != nil {
 		return 0, fmt.Errorf("client: GET: %w", err)
 	}
 	var n int64
 	err := c.retry(func(s *session) error {
 		var err error
-		n, err = s.get(name, w)
+		n, err = s.get(name, w, ctx)
 		if err != nil && n > 0 && s.dead() {
 			return noRetry{fmt.Errorf("client: GET %s: session lost after %d bytes delivered: %w", name, n, err)}
 		}
@@ -205,11 +220,16 @@ func (c *Client) Get(name string, w io.Writer) (int64, error) {
 // Delete removes name from the store. Deleting a name that does not
 // exist succeeds (the verb is idempotent), so Delete retries freely.
 func (c *Client) Delete(name string) error {
+	return c.DeleteTraced(name, obs.SpanContext{})
+}
+
+// DeleteTraced is Delete carrying a trace context (see PutTraced).
+func (c *Client) DeleteTraced(name string, ctx obs.SpanContext) error {
 	if err := server.ValidateName(name); err != nil {
 		return fmt.Errorf("client: DEL: %w", err)
 	}
 	return c.retry(func(s *session) error {
-		_, err := s.simple("DEL " + name)
+		_, err := s.simple("DEL " + name + s.traceSuffix(ctx))
 		return err
 	})
 }
@@ -230,6 +250,40 @@ func (c *Client) Stat() (string, error) { return c.simpleRetry("STAT") }
 
 // Scrub runs a scrub pass on the server and returns its summary line.
 func (c *Client) Scrub() (string, error) { return c.simpleRetry("SCRUB") }
+
+// ScrubTraced is Scrub carrying a trace context (see PutTraced).
+func (c *Client) ScrubTraced(ctx obs.SpanContext) (string, error) {
+	var line string
+	err := c.retry(func(s *session) error {
+		var err error
+		line, err = s.simple("SCRUB" + s.traceSuffix(ctx))
+		return err
+	})
+	return line, err
+}
+
+// TraceCapable reports whether the current session's server advertised
+// trace support (the "trace=1" hello field): whether TraceDump works
+// and traced requests actually propagate their IDs.
+func (c *Client) TraceCapable() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sess.traceCap
+}
+
+// TraceDump fetches the server's span ring — filtered to one trace
+// when trace is nonzero, the whole ring otherwise — as decoded span
+// records. The caller merges dumps from several daemons (and its own
+// tracer) into one timeline; obs.ChromeTrace renders the merge.
+func (c *Client) TraceDump(trace obs.TraceID) ([]obs.SpanRecord, error) {
+	var recs []obs.SpanRecord
+	err := c.retry(func(s *session) error {
+		var err error
+		recs, err = s.traceDump(trace)
+		return err
+	})
+	return recs, err
+}
 
 // Ping round-trips an empty request.
 func (c *Client) Ping() error {
@@ -260,6 +314,7 @@ type session struct {
 	wmu sync.Mutex // serializes frame writes (frames are atomic on the wire)
 
 	maxInFlight int
+	traceCap    bool // server hello advertised trace=1
 	sem         chan struct{}
 	ioTimeout   time.Duration
 
@@ -304,7 +359,7 @@ func dialSession(addr string, cfg Config) (*session, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: unexpected first frame type %#x: %w", hdr.Type, server.ErrProtocol)
 	}
-	s.maxInFlight, err = parseHello(string(payload))
+	s.maxInFlight, s.traceCap, err = parseHello(string(payload))
 	if err != nil {
 		// A server that mis-advertises its in-flight cap would silently
 		// serialize (or desync) every request on this session: fail the
@@ -318,21 +373,40 @@ func dialSession(addr string, cfg Config) (*session, error) {
 	return s, nil
 }
 
-// parseHello extracts maxinflight from the server hello. A hello that
-// omits the field or carries a malformed value is a protocol error.
-func parseHello(hello string) (int, error) {
+// parseHello extracts maxinflight and the trace capability from the
+// server hello. A hello that omits maxinflight or carries a malformed
+// value is a protocol error; unknown fields are ignored (they are how
+// the hello grows), and a missing trace=1 just means an older daemon.
+func parseHello(hello string) (maxInFlight int, traceCap bool, err error) {
 	for _, f := range strings.Fields(hello) {
+		if f == "trace=1" {
+			traceCap = true
+			continue
+		}
 		v, ok := strings.CutPrefix(f, "maxinflight=")
 		if !ok {
 			continue
 		}
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			return 0, fmt.Errorf("client: malformed maxinflight %q in server hello %q: %w", v, hello, server.ErrProtocol)
+			return 0, false, fmt.Errorf("client: malformed maxinflight %q in server hello %q: %w", v, hello, server.ErrProtocol)
 		}
-		return n, nil
+		maxInFlight = n
 	}
-	return 0, fmt.Errorf("client: server hello %q advertises no maxinflight: %w", hello, server.ErrProtocol)
+	if maxInFlight == 0 {
+		return 0, false, fmt.Errorf("client: server hello %q advertises no maxinflight: %w", hello, server.ErrProtocol)
+	}
+	return maxInFlight, traceCap, nil
+}
+
+// traceSuffix renders the optional trailing trace field for a verb
+// line: empty unless the server advertised trace=1 and ctx is valid,
+// so traced calls degrade to untraced ones against older daemons.
+func (s *session) traceSuffix(ctx obs.SpanContext) string {
+	if !s.traceCap || !ctx.Valid() {
+		return ""
+	}
+	return " " + server.TraceField(uint64(ctx.Trace))
 }
 
 // dead reports whether the session has failed.
@@ -509,10 +583,10 @@ func (s *session) release() { <-s.sem }
 
 // put streams one PUT. consumed reports whether any of r was read —
 // once true, the request cannot be transparently replayed.
-func (s *session) put(name string, r io.Reader, size int64) (consumed bool, err error) {
+func (s *session) put(name string, r io.Reader, size int64, ctx obs.SpanContext) (consumed bool, err error) {
 	s.acquire()
 	defer s.release()
-	id, ch, err := s.begin(fmt.Sprintf("PUT %s %d", name, size))
+	id, ch, err := s.begin(fmt.Sprintf("PUT %s %d%s", name, size, s.traceSuffix(ctx)))
 	if err != nil {
 		return false, err
 	}
@@ -566,10 +640,10 @@ func (s *session) put(name string, r io.Reader, size int64) (consumed bool, err 
 }
 
 // get streams one GET into w, returning the bytes delivered.
-func (s *session) get(name string, w io.Writer) (int64, error) {
+func (s *session) get(name string, w io.Writer, ctx obs.SpanContext) (int64, error) {
 	s.acquire()
 	defer s.release()
-	id, ch, err := s.begin("GET " + name)
+	id, ch, err := s.begin("GET " + name + s.traceSuffix(ctx))
 	if err != nil {
 		return 0, err
 	}
@@ -643,6 +717,53 @@ func (s *session) list() ([]string, error) {
 			return nil, &RemoteError{Msg: string(f.payload)}
 		default:
 			return nil, s.poison(fmt.Errorf("client: LIST: unexpected frame type %#x: %w", f.typ, server.ErrProtocol))
+		}
+	}
+}
+
+// traceDump runs one TRACE, buffering the streamed records body so a
+// retried dump never decodes a partial document.
+func (s *session) traceDump(trace obs.TraceID) ([]obs.SpanRecord, error) {
+	if !s.traceCap {
+		return nil, fmt.Errorf("client: TRACE: server does not advertise trace support: %w", server.ErrProtocol)
+	}
+	s.acquire()
+	defer s.release()
+	line := "TRACE"
+	if trace != 0 {
+		line = fmt.Sprintf("TRACE %016x", uint64(trace))
+	}
+	id, ch, err := s.begin(line)
+	if err != nil {
+		return nil, err
+	}
+	defer s.forget(id)
+	var body bytes.Buffer
+	for {
+		f, err := s.recv(ch)
+		if err != nil {
+			return nil, err
+		}
+		switch f.typ {
+		case server.FrameData:
+			body.Write(f.payload)
+		case server.FrameEnd:
+			var count int
+			if _, err := fmt.Sscanf(string(f.payload), "OK %d", &count); err != nil {
+				return nil, s.poison(fmt.Errorf("client: TRACE: bad trailer %q: %w", f.payload, server.ErrProtocol))
+			}
+			recs, err := obs.ParseRecords(body.Bytes())
+			if err != nil {
+				return nil, s.poison(fmt.Errorf("client: TRACE: bad records body: %w: %w", err, server.ErrProtocol))
+			}
+			if len(recs) != count {
+				return nil, s.poison(fmt.Errorf("client: TRACE: %d records, trailer count %d: %w", len(recs), count, server.ErrProtocol))
+			}
+			return recs, nil
+		case server.FrameErr:
+			return nil, &RemoteError{Msg: string(f.payload)}
+		default:
+			return nil, s.poison(fmt.Errorf("client: TRACE: unexpected frame type %#x: %w", f.typ, server.ErrProtocol))
 		}
 	}
 }

@@ -9,21 +9,25 @@ import (
 
 func TestParseHelloAccepts(t *testing.T) {
 	cases := []struct {
-		in   string
-		want int
+		in        string
+		want      int
+		wantTrace bool
 	}{
-		{"crfsd/2 maxinflight=32", 32},
-		{"maxinflight=1", 1},
-		{"version=2 maxinflight=7 codec=raw", 7},
+		{"crfsd/2 maxinflight=32", 32, false},
+		{"maxinflight=1", 1, false},
+		{"version=2 maxinflight=7 codec=raw", 7, false},
+		{"crfsd/2 maxinflight=32 maxframe=1048576 trace=1", 32, true},
+		{"trace=1 maxinflight=4", 4, true},
+		{"maxinflight=4 trace=0", 4, false}, // only the exact token counts
 	}
 	for _, tc := range cases {
-		got, err := parseHello(tc.in)
+		got, traced, err := parseHello(tc.in)
 		if err != nil {
 			t.Errorf("parseHello(%q): %v", tc.in, err)
 			continue
 		}
-		if got != tc.want {
-			t.Errorf("parseHello(%q) = %d, want %d", tc.in, got, tc.want)
+		if got != tc.want || traced != tc.wantTrace {
+			t.Errorf("parseHello(%q) = %d, %v, want %d, %v", tc.in, got, traced, tc.want, tc.wantTrace)
 		}
 	}
 }
@@ -46,7 +50,7 @@ func TestParseHelloRejectsMalformed(t *testing.T) {
 		"notmaxinflight=32", // prefix of another field does not count
 	}
 	for _, in := range cases {
-		n, err := parseHello(in)
+		n, _, err := parseHello(in)
 		if err == nil {
 			t.Errorf("parseHello(%q) = %d, want protocol error", in, n)
 			continue

@@ -8,6 +8,7 @@ import (
 
 	"crfs/internal/codec"
 	"crfs/internal/compact"
+	"crfs/internal/obs"
 	"crfs/internal/vfs"
 )
 
@@ -117,6 +118,12 @@ func (fs *FS) pinEntry(key string) *fileEntry {
 // skips the policy thresholds (explicit Compact calls); the no-work
 // cases (plain file, already-minimal container) stay no-ops either way.
 func (fs *FS) compactEntry(e *fileEntry, force bool) error {
+	var sp obs.Span
+	if fs.tracer.Enabled() {
+		sp = fs.tracer.Start("crfs.compact")
+		sp.Attr("file", e.pathName())
+		defer sp.End()
+	}
 	e.truncMu.Lock()
 	defer e.truncMu.Unlock()
 	e.writeMu.Lock()
@@ -288,6 +295,11 @@ func (fs *FS) Scrub(o ScrubOptions) (*compact.Report, error) {
 	if err := fs.checkOpen(); err != nil {
 		return nil, err
 	}
+	var sp obs.Span
+	if fs.tracer.Enabled() {
+		sp = fs.tracer.Start("crfs.scrub")
+		defer sp.End()
+	}
 	rep := &compact.Report{}
 	err := compact.Walk(fs.backend, ".", func(path string, size int64) error {
 		rep.Add(fs.scrubOne(path, size, o))
@@ -381,7 +393,11 @@ func (fs *FS) enqueueJob(j func()) bool {
 	if fs.jobsClosed {
 		return false
 	}
-	fs.jobq <- j
+	at := time.Now().UnixNano()
+	fs.jobq <- func() {
+		fs.hist.queueWaitJob.Observe(time.Now().UnixNano() - at)
+		j()
+	}
 	return true
 }
 

@@ -5,9 +5,11 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"crfs/internal/chunker"
 	"crfs/internal/codec"
+	"crfs/internal/obs"
 	"crfs/internal/vfs"
 )
 
@@ -127,7 +129,9 @@ func newFileEntry(fs *FS, name string, backend backendHandle, chunkSize int64) *
 // write runs the aggregation state machine for one positional write.
 // It returns only after the payload has been copied into pool chunks; the
 // backend writes happen asynchronously (§IV-B: "the write() returns").
-func (e *fileEntry) write(p []byte, off int64) (int, error) {
+// ctx, when valid, parents the pipeline spans of chunks this write
+// seals (zero when tracing is off or the caller has no trace).
+func (e *fileEntry) write(p []byte, off int64, ctx obs.SpanContext) (int, error) {
 	e.writeMu.Lock()
 	defer e.writeMu.Unlock()
 
@@ -157,6 +161,7 @@ func (e *fileEntry) write(p []byte, off int64) (int, error) {
 				e.fs.dropPrefetched()
 			})
 			c.entry = e
+			c.ctx = ctx
 			e.mu.Lock()
 			e.active = c
 			e.mu.Unlock()
@@ -202,6 +207,7 @@ func (e *fileEntry) enqueueActive() {
 	e.inflight = append(e.inflight, c)
 	e.mu.Unlock()
 	e.fs.stats.chunksFlushed.Add(1)
+	c.enqueuedAt = time.Now().UnixNano()
 	e.fs.enqueue(c)
 }
 

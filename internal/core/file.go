@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
+	"crfs/internal/obs"
 	"crfs/internal/vfs"
 )
 
@@ -25,6 +27,28 @@ type file struct {
 	// prefetched data itself is cached on the shared entry. Guarded by mu.
 	seqEnd int64 // end offset of the last read
 	seqRun int   // consecutive reads that continued exactly at seqEnd
+
+	// traceCtx parents this handle's pipeline spans (set by the daemon
+	// from the request's propagated trace ID). Guarded by mu; read only
+	// when the tracer is enabled, so the disabled path never takes mu.
+	traceCtx obs.SpanContext
+}
+
+// SetSpanContext parents all subsequent spans of this handle's IO under
+// ctx: the daemon calls it after Open so a remote request's trace ID
+// reaches the core pipeline spans.
+func (f *file) SetSpanContext(ctx obs.SpanContext) {
+	f.mu.Lock()
+	f.traceCtx = ctx
+	f.mu.Unlock()
+}
+
+// spanCtx returns the handle's parent span context. Only called on the
+// enabled path.
+func (f *file) spanCtx() obs.SpanContext {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.traceCtx
 }
 
 func (f *file) Name() string { return f.name }
@@ -50,7 +74,17 @@ func (f *file) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("core: write %s: negative offset: %w", f.name, vfs.ErrInvalid)
 	}
-	return f.entry.write(p, off)
+	var sp obs.Span
+	if f.fs.tracer.Enabled() {
+		sp = f.fs.tracer.StartChild("crfs.write", f.spanCtx())
+		sp.AttrInt("off", off)
+		sp.AttrInt("bytes", int64(len(p)))
+	}
+	t0 := time.Now()
+	n, err := f.entry.write(p, off, sp.Context())
+	f.fs.hist.writeAt.Observe(int64(time.Since(t0)))
+	sp.End()
+	return n, err
 }
 
 // ReadAt implements vfs.File. The paper passes reads straight through
@@ -75,7 +109,16 @@ func (f *file) ReadAt(p []byte, off int64) (int, error) {
 		// silent zeros.
 		return 0, fmt.Errorf("core: read %s: negative offset: %w", f.name, vfs.ErrInvalid)
 	}
+	var sp obs.Span
+	if f.fs.tracer.Enabled() {
+		sp = f.fs.tracer.StartChild("crfs.read", f.spanCtx())
+		sp.AttrInt("off", off)
+		sp.AttrInt("bytes", int64(len(p)))
+	}
+	t0 := time.Now()
 	n, err := f.entry.readAt(p, off)
+	f.fs.hist.readAt.Observe(int64(time.Since(t0)))
+	sp.End()
 	f.fs.stats.reads.Add(1)
 	f.fs.stats.bytesRead.Add(int64(n))
 	if n > 0 && (err == nil || err == io.EOF) {
@@ -102,7 +145,11 @@ func (f *file) noteRead(off, n int64) {
 	run := f.seqRun
 	f.mu.Unlock()
 	if run >= seqThreshold {
-		pf.schedule(off + n)
+		var ctx obs.SpanContext
+		if f.fs.tracer.Enabled() {
+			ctx = f.spanCtx()
+		}
+		pf.schedule(off+n, ctx)
 	}
 }
 
@@ -131,6 +178,13 @@ func (f *file) Sync() error {
 	if err := f.checkOpen(); err != nil {
 		return err
 	}
+	var sp obs.Span
+	if f.fs.tracer.Enabled() {
+		sp = f.fs.tracer.StartChild("crfs.sync", f.spanCtx())
+		defer sp.End()
+	}
+	t0 := time.Now()
+	defer func() { f.fs.hist.sync.Observe(int64(time.Since(t0))) }()
 	e := f.entry
 	e.flushTail()
 	if err := e.drainReport(); err != nil {
@@ -169,6 +223,11 @@ func (f *file) Close() error {
 	f.closed = true
 	f.mu.Unlock()
 
+	var sp obs.Span
+	if f.fs.tracer.Enabled() {
+		sp = f.fs.tracer.StartChild("crfs.close", f.spanCtx())
+		defer sp.End()
+	}
 	e := f.entry
 	e.flushTail()
 	drainErr := e.drainReport()

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"crfs/internal/codec"
+	"crfs/internal/obs"
 	"crfs/internal/vfs"
 )
 
@@ -57,6 +59,11 @@ type FS struct {
 	statCache map[string]statProbe
 
 	stats statCounters
+
+	// tracer records pipeline spans (Options.Tracer, defaulting to
+	// obs.Default); hist holds the always-on per-stage histograms.
+	tracer *obs.Tracer
+	hist   *fsHistograms
 }
 
 // statProbe caches one closed-file sniff result.
@@ -81,6 +88,11 @@ func Mount(backend vfs.FS, opts Options) (*FS, error) {
 		opts:    opts,
 		pool:    newBufferPool(opts.BufferPoolSize, opts.ChunkSize),
 		files:   make(map[string]*fileEntry),
+		tracer:  opts.Tracer,
+		hist:    newFSHistograms(),
+	}
+	if fs.tracer == nil {
+		fs.tracer = obs.Default
 	}
 	fs.encBufs.New = func() any {
 		b := make([]byte, 0, opts.ChunkSize+codec.HeaderSize)
@@ -188,13 +200,25 @@ func (fs *FS) ioWorker() {
 // writeChunk lands one aggregation chunk on the backend and retires it.
 func (fs *FS) writeChunk(c *chunk) {
 	fs.stats.queueDepth.Add(-1)
+	if c.enqueuedAt != 0 {
+		fs.hist.queueWaitWrite.Observe(time.Now().UnixNano() - c.enqueuedAt)
+	}
+	var sp obs.Span
+	if fs.tracer.Enabled() {
+		sp = fs.tracer.StartChild("crfs.chunk.write", c.ctx)
+		sp.AttrInt("seq", int64(c.seq))
+		sp.AttrInt("bytes", c.fill.Load())
+		defer sp.End()
+	}
 	entry := c.entry
 	fill := c.fill.Load()
 	var err error
 	if entry.framed {
-		err = fs.writeFramed(entry, c)
+		err = fs.writeFramed(entry, c, sp.Context())
 	} else {
+		t0 := time.Now()
 		_, err = entry.backendFile.WriteAt(c.buf[:fill], c.start)
+		fs.hist.backendWrite.Observe(int64(time.Since(t0)))
 		fs.stats.backendWrites.Add(1)
 		fs.stats.backendBytes.Add(fill)
 	}
@@ -214,11 +238,22 @@ func (fs *FS) writeChunk(c *chunk) {
 // container. Encoding happens outside any lock; only the append-offset
 // reservation and the index update are serialized, so workers overlap
 // compression with each other and with backend IO.
-func (fs *FS) writeFramed(e *fileEntry, c *chunk) error {
+func (fs *FS) writeFramed(e *fileEntry, c *chunk, parent obs.SpanContext) error {
 	bp := fs.encBufs.Get().(*[]byte)
 	defer fs.encBufs.Put(bp)
 	fill := c.fill.Load()
+	var encSp obs.Span
+	if fs.tracer.Enabled() {
+		encSp = fs.tracer.StartChild("crfs.encode", parent)
+	}
+	encT0 := time.Now()
 	frame, hdr, err := codec.EncodeFrameVersion(fs.opts.Codec, uint8(fs.opts.FrameVersion), c.seq, c.start, c.buf[:fill], (*bp)[:0])
+	fs.hist.encode.Observe(int64(time.Since(encT0)))
+	if encSp.Active() {
+		encSp.AttrInt("raw", fill)
+		encSp.AttrInt("enc", int64(len(frame)))
+		encSp.End()
+	}
 	if cap(frame) > cap(*bp) {
 		*bp = frame // keep the grown buffer for the next encode
 	}
@@ -229,7 +264,16 @@ func (fs *FS) writeFramed(e *fileEntry, c *chunk) error {
 	pos := e.appendOff
 	e.appendOff += int64(len(frame))
 	e.mu.Unlock()
+	var wrSp obs.Span
+	if fs.tracer.Enabled() {
+		wrSp = fs.tracer.StartChild("crfs.backend.write", parent)
+		wrSp.AttrInt("bytes", int64(len(frame)))
+	}
+	wrT0 := time.Now()
 	_, werr := e.backendFile.WriteAt(frame, pos)
+	fs.hist.backendWrite.Observe(int64(time.Since(wrT0)))
+	fs.hist.frameBytes.Observe(int64(len(frame)))
+	wrSp.End()
 	fs.stats.backendWrites.Add(1)
 	fs.stats.backendBytes.Add(int64(len(frame)))
 	fs.stats.codecBytesIn.Add(fill)

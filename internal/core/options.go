@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"crfs/internal/codec"
+	"crfs/internal/obs"
 )
 
 // Defaults chosen by the paper's evaluation (§V-B): a 16 MB buffer pool of
@@ -91,6 +92,12 @@ type Options struct {
 	// readers must still append-share. Reads always accept both versions
 	// regardless of this setting.
 	FrameVersion int
+	// Tracer receives the mount's pipeline spans (write/read/sync, chunk
+	// seal, encode, backend write, prefetch, scrub/compact). nil selects
+	// the process-wide obs.Default tracer, which starts disabled — the
+	// per-span cost is then one atomic load. Latency histograms are
+	// independent of the tracer and always on.
+	Tracer *obs.Tracer
 }
 
 // CompactionPolicy configures online container compaction. Containers

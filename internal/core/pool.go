@@ -3,6 +3,8 @@ package core
 import (
 	"sync/atomic"
 	"time"
+
+	"crfs/internal/obs"
 )
 
 // chunk is one buffer-pool chunk. While active it accumulates a contiguous
@@ -36,6 +38,13 @@ type chunk struct {
 	// overlapping chunks in write order even when IO workers complete
 	// them out of order.
 	done bool
+
+	// enqueuedAt (UnixNano) stamps the hand-off to the work queue so the
+	// draining worker can observe queue dwell time; ctx parents the
+	// chunk's pipeline spans under the write that sealed it. Both are
+	// written before enqueue and read only by the draining worker.
+	enqueuedAt int64
+	ctx        obs.SpanContext
 }
 
 func (c *chunk) reset() {
@@ -44,6 +53,8 @@ func (c *chunk) reset() {
 	c.fill.Store(0)
 	c.seq = 0
 	c.done = false
+	c.enqueuedAt = 0
+	c.ctx = obs.SpanContext{}
 }
 
 // pin takes a reader reference. Callers must guarantee the chunk is still

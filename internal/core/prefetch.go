@@ -4,8 +4,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"crfs/internal/codec"
+	"crfs/internal/obs"
 )
 
 // Restart read pipeline: sequential-read detection on a file handle
@@ -120,8 +122,9 @@ func (pf *prefetcher) invalidate() {
 
 // schedule plans read-ahead past a sequential read that ended at from,
 // enqueueing up to depth() block- or frame-fetch jobs on the IO workers.
+// ctx parents the resulting fetch spans (zero when tracing is off).
 // Called with no locks held.
-func (pf *prefetcher) schedule(from int64) {
+func (pf *prefetcher) schedule(from int64, ctx obs.SpanContext) {
 	e := pf.e
 	e.mu.Lock()
 	framed := e.framed
@@ -147,7 +150,7 @@ func (pf *prefetcher) schedule(from int64) {
 				continue
 			}
 			pf.pending[fr.Pos] = &pendingFetch{}
-			jobs = append(jobs, prefetchJob{e: e, gen: gen, key: fr.Pos, framed: true, fr: fr})
+			jobs = append(jobs, prefetchJob{e: e, gen: gen, key: fr.Pos, framed: true, fr: fr, ctx: ctx})
 		}
 	} else {
 		bs := pf.fs.opts.ChunkSize
@@ -163,7 +166,7 @@ func (pf *prefetcher) schedule(from int64) {
 				continue
 			}
 			pf.pending[b] = &pendingFetch{}
-			jobs = append(jobs, prefetchJob{e: e, gen: gen, key: b, n: bs})
+			jobs = append(jobs, prefetchJob{e: e, gen: gen, key: b, n: bs, ctx: ctx})
 		}
 	}
 	pf.mu.Unlock()
@@ -384,6 +387,9 @@ type prefetchJob struct {
 	n      int64  // plain: block length to fetch
 	framed bool
 	fr     codec.FrameInfo // framed: the frame to decode
+
+	enqueuedAt int64           // UnixNano at enqueue, for queue-wait dwell
+	ctx        obs.SpanContext // parents the fetch span under the triggering read
 }
 
 // runPrefetch executes one job on an IO worker. The job first claims its
@@ -393,6 +399,15 @@ type prefetchJob struct {
 // comment's rule 2) and publishes only if the generation is unchanged
 // (rule 1).
 func (fs *FS) runPrefetch(j prefetchJob) {
+	if j.enqueuedAt != 0 {
+		fs.hist.queueWaitPrefetch.Observe(time.Now().UnixNano() - j.enqueuedAt)
+	}
+	var sp obs.Span
+	if fs.tracer.Enabled() {
+		sp = fs.tracer.StartChild("crfs.prefetch", j.ctx)
+		sp.AttrInt("key", j.key)
+		defer sp.End()
+	}
 	pf := j.e.pf
 	e := j.e
 	pf.mu.Lock()
@@ -505,6 +520,7 @@ func (fs *FS) enqueuePrefetch(j prefetchJob) (ok bool) {
 			ok = false
 		}
 	}()
+	j.enqueuedAt = time.Now().UnixNano()
 	select {
 	case fs.prefetchq <- j:
 		return true

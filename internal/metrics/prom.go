@@ -3,7 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
-	"sort"
+	"math"
 	"strings"
 )
 
@@ -17,6 +17,12 @@ type PromMetric struct {
 	Help  string
 	Type  string // "counter" or "gauge"
 	Value float64
+
+	// Stat, when non-empty, is the metric's short key on crfsd's one-line
+	// STAT summary. STAT and /metrics render from the same registry (the
+	// server's Metrics() list), so the two cannot drift; metrics without
+	// a Stat key appear only in the Prometheus exposition.
+	Stat string
 }
 
 // Counter builds a counter-typed PromMetric from an integer total.
@@ -29,29 +35,43 @@ func Gauge(name, help string, v float64) PromMetric {
 	return PromMetric{Name: name, Help: help, Type: "gauge", Value: v}
 }
 
+// WithStat returns the metric with its STAT-line key set.
+func (m PromMetric) WithStat(key string) PromMetric {
+	m.Stat = key
+	return m
+}
+
+// StatLine renders the metrics that carry a Stat key as a one-line
+// "k=v k=v ..." summary, in the order given (STAT consumers scan for
+// known keys, so order is presentation only). Integral values render
+// without a decimal point; others keep the precision hinted by the
+// key's formatting convention (ratios print with two decimals).
+func StatLine(ms []PromMetric) string {
+	var b strings.Builder
+	for _, m := range ms {
+		if m.Stat == "" {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(m.Stat)
+		b.WriteByte('=')
+		if m.Value == math.Trunc(m.Value) && math.Abs(m.Value) < 1e15 {
+			fmt.Fprintf(&b, "%d", int64(m.Value))
+		} else {
+			fmt.Fprintf(&b, "%.2f", m.Value)
+		}
+	}
+	return b.String()
+}
+
 // WritePrometheus renders the metrics in the Prometheus text exposition
 // format (version 0.0.4): a # HELP and # TYPE line per metric followed
 // by the sample. Metrics are emitted in name order so the output is
 // deterministic and diffable; HELP text is escaped per the format rules.
 func WritePrometheus(w io.Writer, ms []PromMetric) error {
-	sorted := make([]PromMetric, len(ms))
-	copy(sorted, ms)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
-	for _, m := range sorted {
-		typ := m.Type
-		if typ == "" {
-			typ = "gauge"
-		}
-		if m.Help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, escapeHelp(m.Help)); err != nil {
-				return err
-			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %v\n", m.Name, typ, m.Name, m.Value); err != nil {
-			return err
-		}
-	}
-	return nil
+	return WritePrometheusWith(w, ms, nil)
 }
 
 // escapeHelp escapes backslashes and newlines, the two characters the

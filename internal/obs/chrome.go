@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// MarshalRecords renders span records as JSON (newline-free array).
+// This is the TRACE verb's payload format — records, not chrome
+// events — so receivers can re-merge, filter, or re-parent before the
+// final chrome conversion.
+func MarshalRecords(recs []SpanRecord) ([]byte, error) {
+	return json.Marshal(recs)
+}
+
+// ParseRecords decodes a MarshalRecords payload.
+func ParseRecords(data []byte) ([]SpanRecord, error) {
+	var recs []SpanRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("obs: parsing span records: %w", err)
+	}
+	return recs, nil
+}
+
+// chromeEvent is one entry of the chrome://tracing "trace event"
+// format (JSON array flavor). Complete ("X") events carry ts+dur in
+// microseconds; metadata ("M") events name processes.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace renders span records as a chrome://tracing-loadable JSON
+// array. Each distinct Proc becomes a process lane (with a
+// process_name metadata event); each span gets its own tid so
+// overlapping spans never collapse into one row. Timestamps are the
+// records' wall-clock starts, so lanes from different nodes line up as
+// well as their clocks do.
+func ChromeTrace(recs []SpanRecord) []byte {
+	procs := make(map[string]int)
+	var names []string
+	for _, r := range recs {
+		if _, ok := procs[r.Proc]; !ok {
+			procs[r.Proc] = 0
+			names = append(names, r.Proc)
+		}
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		procs[n] = i + 1
+	}
+	events := make([]chromeEvent, 0, len(recs)+len(names))
+	for _, n := range names {
+		label := n
+		if label == "" {
+			label = "(unnamed)"
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  procs[n],
+			Args: map[string]any{"name": label},
+		})
+	}
+	for _, r := range recs {
+		args := map[string]any{
+			"trace": fmt.Sprintf("%016x", uint64(r.Trace)),
+			"span":  fmt.Sprintf("%016x", uint64(r.ID)),
+		}
+		if r.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", uint64(r.Parent))
+		}
+		for _, a := range r.Attrs {
+			args[a.Key] = a.Val
+		}
+		events = append(events, chromeEvent{
+			Name: r.Name,
+			Cat:  "crfs",
+			Ph:   "X",
+			Ts:   float64(r.Start) / 1e3,
+			Dur:  float64(r.Dur) / 1e3,
+			Pid:  procs[r.Proc],
+			Tid:  uint64(r.ID),
+			Args: args,
+		})
+	}
+	out, err := json.Marshal(events)
+	if err != nil {
+		// Everything marshaled here is strings/numbers; this cannot fail.
+		panic(fmt.Sprintf("obs: chrome trace marshal: %v", err))
+	}
+	return out
+}

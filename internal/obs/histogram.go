@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe
+// with no locking and no allocation: a binary search over the
+// immutable bounds plus three atomic adds. Bounds are upper edges
+// (inclusive, Prometheus "le" semantics); values above the last bound
+// land in an implicit +Inf bucket.
+//
+// Histograms are always on — unlike spans there is no enabled switch —
+// so the hot paths pay one Observe unconditionally. That cost (tens of
+// nanoseconds) is the whole overhead budget for latency metrics.
+type Histogram struct {
+	bounds []int64 // immutable after New; crfsvet obshot relies on this
+	counts []atomic.Int64
+	sum    atomic.Int64
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. The bounds slice is copied; an extra +Inf bucket is implied.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Observe records one value. Lock-free and allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; len(bounds) means +Inf.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Counts has
+// one entry per bound plus the +Inf bucket (per-bucket, not
+// cumulative).
+type HistogramSnapshot struct {
+	Bounds []int64
+	Counts []int64
+	Sum    int64
+	Count  int64
+}
+
+// Snapshot copies the histogram's current state. Concurrent Observes
+// may tear slightly between buckets and sum; each field is internally
+// consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.sum.Load(),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the containing bucket, Prometheus
+// histogram_quantile style. Returns 0 on an empty histogram; values in
+// the +Inf bucket clamp to the last finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no upper edge to interpolate toward.
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		var lower float64
+		if i > 0 {
+			lower = float64(s.Bounds[i-1])
+		}
+		upper := float64(s.Bounds[i])
+		return lower + (upper-lower)*((rank-prev)/float64(c))
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
+// LatencyBounds is the standard latency ladder in nanoseconds:
+// 1µs .. 5s in a 1/2.5/5 progression. 13 finite buckets.
+var LatencyBounds = []int64{
+	1_000, 5_000, 25_000, 100_000, 250_000,
+	1_000_000, 5_000_000, 25_000_000, 100_000_000, 250_000_000,
+	1_000_000_000, 2_500_000_000, 5_000_000_000,
+}
+
+// SizeBounds is the standard size ladder in bytes: 512B .. 64MiB by
+// powers of four-ish. 9 finite buckets.
+var SizeBounds = []int64{
+	512, 4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20,
+}

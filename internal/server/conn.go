@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"crfs/internal/core"
+	"crfs/internal/metrics"
+	"crfs/internal/obs"
 	"crfs/internal/vfs"
 )
 
@@ -222,7 +224,10 @@ func (c *srvConn) serveV2() {
 	c.v2 = true
 	c.mu.Unlock()
 	go c.writer()
-	hello := fmt.Sprintf("crfsd/2 maxinflight=%d maxframe=%d",
+	// trace=1 advertises the TRACE verb and the optional trailing
+	// "T=<id>" verb-line field; older clients ignore unknown hello
+	// fields, older servers never emit it, so both directions degrade.
+	hello := fmt.Sprintf("crfsd/2 maxinflight=%d maxframe=%d trace=1",
 		c.srv.cfg.MaxInFlight, MaxFramePayload)
 	if !c.sendFrame(outFrame{typ: FrameHello, payload: []byte(hello)}) {
 		return
@@ -422,13 +427,23 @@ func (c *srvConn) complete(id uint32, typ uint8, payload []byte) {
 	}
 }
 
-// run executes one v2 request.
+// run executes one v2 request. When tracing is on, the request gets a
+// span joined to the client's trace (the propagated T= field), so one
+// striped restore stitches client and daemon timelines together.
 func (c *srvConn) run(id uint32, req Request, r *inReq) {
+	var sp obs.Span
+	if tr := c.srv.tracer; tr.Enabled() && req.Verb != "TRACE" {
+		sp = tr.StartRemote("crfsd."+req.Verb, obs.TraceID(req.Trace))
+		if req.Name != "" {
+			sp.Attr("name", req.Name)
+		}
+		defer sp.End()
+	}
 	switch req.Verb {
 	case "PING":
 		c.complete(id, FrameEnd, []byte("OK crfsd/2"))
 	case "STAT":
-		c.complete(id, FrameEnd, []byte(statLine(c.srv.fs)))
+		c.complete(id, FrameEnd, []byte(statLine(c.srv)))
 	case "SCRUB":
 		line, err := scrubLine(c.srv.fs)
 		if err != nil {
@@ -436,6 +451,8 @@ func (c *srvConn) run(id uint32, req Request, r *inReq) {
 			return
 		}
 		c.complete(id, FrameEnd, []byte(line))
+	case "TRACE":
+		c.runTrace(id, req)
 	case "LIST":
 		c.runList(id)
 	case "DEL":
@@ -448,10 +465,44 @@ func (c *srvConn) run(id uint32, req Request, r *inReq) {
 		}
 		c.complete(id, FrameEnd, []byte("OK"))
 	case "GET":
-		c.runGet(id, req.Name)
+		t0 := time.Now()
+		c.runGet(id, req.Name, sp.Context())
+		c.srv.getSeconds.Observe(int64(time.Since(t0)))
 	case "PUT":
-		c.runPut(id, req, r)
+		t0 := time.Now()
+		c.runPut(id, req, r, sp.Context())
+		c.srv.putSeconds.Observe(int64(time.Since(t0)))
 	}
+}
+
+// runTrace streams the daemon's span ring — optionally filtered to one
+// trace ID — as a JSON records body (obs.MarshalRecords format), closed
+// by an "OK <count>" end frame. The dump is records, not chrome events:
+// the collector (crfscp -trace) merges rings from every node before the
+// final chrome conversion.
+func (c *srvConn) runTrace(id uint32, req Request) {
+	var recs []obs.SpanRecord
+	if req.Trace != 0 {
+		recs = c.srv.tracer.TraceSpans(obs.TraceID(req.Trace))
+	} else {
+		recs = c.srv.tracer.Snapshot()
+	}
+	body, err := obs.MarshalRecords(recs)
+	if err != nil {
+		c.complete(id, FrameErr, []byte(err.Error()))
+		return
+	}
+	for off := 0; off < len(body); off += DataChunk {
+		end := off + DataChunk
+		if end > len(body) {
+			end = len(body)
+		}
+		if !c.sendFrame(outFrame{typ: FrameData, reqID: id, payload: body[off:end]}) {
+			return
+		}
+		c.srv.c.bytesOut.Add(int64(end - off))
+	}
+	c.complete(id, FrameEnd, []byte(fmt.Sprintf("OK %d", len(recs))))
 }
 
 // runList streams the store's object names (staging temps excluded),
@@ -494,13 +545,14 @@ func (c *srvConn) runList(id uint32) {
 // runGet streams a file as data frames. Any failure — before the first
 // byte or mid-stream — is an error frame, never bytes on the body
 // stream, so the client can never mistake error text for file content.
-func (c *srvConn) runGet(id uint32, name string) {
+func (c *srvConn) runGet(id uint32, name string, ctx obs.SpanContext) {
 	f, err := c.srv.fs.Open(name, vfs.ReadOnly)
 	if err != nil {
 		c.complete(id, FrameErr, []byte(err.Error()))
 		return
 	}
 	defer f.Close()
+	setSpanContext(f, ctx)
 	info, err := f.Stat()
 	if err != nil {
 		c.complete(id, FrameErr, []byte(err.Error()))
@@ -540,7 +592,7 @@ func (c *srvConn) runGet(id uint32, name string) {
 
 // runPut streams the request body into a staging temp and commits it
 // under the target name only on clean completion.
-func (c *srvConn) runPut(id uint32, req Request, r *inReq) {
+func (c *srvConn) runPut(id uint32, req Request, r *inReq, ctx obs.SpanContext) {
 	src := func() ([]byte, error) {
 		select {
 		case item := <-r.body:
@@ -552,7 +604,7 @@ func (c *srvConn) runPut(id uint32, req Request, r *inReq) {
 			return nil, fmt.Errorf("server: connection lost mid-PUT: %w", net.ErrClosed)
 		}
 	}
-	n, err := c.srv.stagePut(req.Name, req.Size, src)
+	n, err := c.srv.stagePut(req.Name, req.Size, src, ctx)
 	if err != nil {
 		c.complete(id, FrameErr, []byte(err.Error()))
 		return
@@ -604,7 +656,7 @@ func (c *srvConn) serveV1(line string) {
 			c.srv.c.bytesIn.Add(want)
 			return buf[:want], nil
 		}
-		n, err := c.srv.stagePut(req.Name, req.Size, src)
+		n, err := c.srv.stagePut(req.Name, req.Size, src, obs.SpanContext{})
 		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
 		if err != nil {
 			c.srv.c.requestErrors.Add(1)
@@ -689,7 +741,28 @@ func (c *srvConn) serveV1(line string) {
 		fmt.Fprintf(c.nc, "OK\n")
 	case "STAT":
 		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
-		fmt.Fprintf(c.nc, "%s\n", statLine(c.srv.fs))
+		fmt.Fprintf(c.nc, "%s\n", statLine(c.srv))
+	case "TRACE":
+		var recs []obs.SpanRecord
+		if req.Trace != 0 {
+			recs = c.srv.tracer.TraceSpans(obs.TraceID(req.Trace))
+		} else {
+			recs = c.srv.tracer.Snapshot()
+		}
+		body, err := obs.MarshalRecords(recs)
+		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
+		if err != nil {
+			c.srv.c.requestErrors.Add(1)
+			fmt.Fprintf(c.nc, "ERR %v\n", err)
+			return
+		}
+		if _, err := fmt.Fprintf(c.nc, "OK %d\n", len(body)); err != nil {
+			return
+		}
+		if _, err := c.nc.Write(body); err != nil {
+			return
+		}
+		c.srv.c.bytesOut.Add(int64(len(body)))
 	case "SCRUB":
 		line, err := scrubLine(c.srv.fs)
 		c.nc.SetWriteDeadline(time.Now().Add(cfg.WriteTimeout))
@@ -711,7 +784,7 @@ func (c *srvConn) serveV1(line string) {
 // the target only after a clean close, so a failed or abandoned PUT
 // never leaves a partial file visible under the target name. src yields
 // successive body slices and io.EOF at the end of the stream.
-func (s *Server) stagePut(name string, size int64, src func() ([]byte, error)) (int64, error) {
+func (s *Server) stagePut(name string, size int64, src func() ([]byte, error), ctx obs.SpanContext) (int64, error) {
 	if dir, _ := vfs.Split(name); dir != "." {
 		if err := s.fs.MkdirAll(dir); err != nil {
 			return 0, err
@@ -725,6 +798,7 @@ func (s *Server) stagePut(name string, size int64, src func() ([]byte, error)) (
 	if err != nil {
 		return 0, err
 	}
+	setSpanContext(f, ctx)
 	abort := func(cause error) (int64, error) {
 		s.c.putsAborted.Add(1)
 		// The close error matters on the failure path too: it is where a
@@ -793,22 +867,24 @@ func (s *Server) commitStaged(temp, name string) error {
 	return fmt.Errorf("server: commit %s: %w", name, err)
 }
 
-// statLine renders the mount's full Stats tree as the one-line STAT
-// response (identical in both protocol versions).
-func statLine(fs *core.FS) string {
-	st := fs.Stats()
-	return fmt.Sprintf("writes=%d backend=%d ratio=%.1f bytes=%d poolwaits=%d codec_in=%d codec_out=%d codec_ratio=%.2f "+
-		"scanned=%d salvaged=%d repaired=%d salvage_frames_dropped=%d salvage_bytes_truncated=%d failed_chunks=%d "+
-		"compacted=%d compact_frames_dropped=%d compact_bytes_reclaimed=%d "+
-		"frames_verified=%d scrub_corruptions=%d scrub_repaired=%d "+
-		"checksum_verified=%d checksum_failed=%d checksum_skipped=%d",
-		st.Writes, st.BackendWrites, st.AggregationRatio(), st.BytesWritten, st.PoolWaits,
-		st.CodecBytesIn, st.CodecBytesOut, st.CompressionRatio(),
-		st.ContainersScanned, st.ContainersSalvaged, st.ContainersRepaired,
-		st.SalvageFramesDropped, st.SalvageBytesTruncated, st.FailedChunks,
-		st.ContainersCompacted, st.CompactFramesDropped, st.CompactBytesReclaimed,
-		st.FramesVerified, st.ScrubCorruptions, st.ScrubRepaired,
-		st.ChecksumVerified, st.ChecksumFailed, st.ChecksumSkipped)
+// statLine renders the one-line STAT response (identical in both
+// protocol versions) from the same metrics registry that backs the
+// Prometheus exposition: the entries tagged WithStat in Metrics().
+func statLine(s *Server) string {
+	return metrics.StatLine(s.Metrics())
+}
+
+// setSpanContext plants a propagated trace context on a mount file
+// handle so the core pipeline's spans (write, chunk seal, encode,
+// backend write, prefetch) join the client's trace. Backends whose
+// handles do not trace are silently skipped.
+func setSpanContext(f vfs.File, ctx obs.SpanContext) {
+	if !ctx.Valid() {
+		return
+	}
+	if t, ok := f.(interface{ SetSpanContext(obs.SpanContext) }); ok {
+		t.SetSpanContext(ctx)
+	}
 }
 
 // scrubLine runs a scrub pass and renders its one-line summary.

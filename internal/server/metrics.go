@@ -4,32 +4,36 @@ import (
 	"net/http"
 
 	"crfs/internal/metrics"
+	"crfs/internal/obs"
 )
 
 // Metrics renders the mount's full Stats tree plus the server's own
-// connection counters as Prometheus samples.
+// connection counters as Prometheus samples. Entries tagged WithStat
+// are the single registry behind both the Prometheus exposition and
+// the one-line STAT response (see statLine), so the two views can
+// never drift apart.
 func (s *Server) Metrics() []metrics.PromMetric {
 	st := s.fs.Stats()
 	sv := s.Stats()
 	return []metrics.PromMetric{
 		// Mount: write aggregation.
 		metrics.Counter("crfs_opens_total", "Open calls that returned successfully.", st.Opens),
-		metrics.Counter("crfs_writes_total", "Application WriteAt calls absorbed by aggregation.", st.Writes),
+		metrics.Counter("crfs_writes_total", "Application WriteAt calls absorbed by aggregation.", st.Writes).WithStat("writes"),
 		metrics.Counter("crfs_reads_total", "Application ReadAt calls.", st.Reads),
 		metrics.Counter("crfs_syncs_total", "Application Sync calls.", st.Syncs),
-		metrics.Counter("crfs_bytes_written_total", "Payload bytes accepted from writers.", st.BytesWritten),
+		metrics.Counter("crfs_bytes_written_total", "Payload bytes accepted from writers.", st.BytesWritten).WithStat("bytes"),
 		metrics.Counter("crfs_bytes_read_total", "Payload bytes returned to readers.", st.BytesRead),
 		metrics.Counter("crfs_chunks_flushed_total", "Chunks handed to the IO work queue.", st.ChunksFlushed),
-		metrics.Counter("crfs_backend_writes_total", "WriteAt calls issued to the backend by IO workers.", st.BackendWrites),
+		metrics.Counter("crfs_backend_writes_total", "WriteAt calls issued to the backend by IO workers.", st.BackendWrites).WithStat("backend"),
 		metrics.Counter("crfs_backend_bytes_total", "Bytes written to the backend.", st.BackendBytes),
-		metrics.Counter("crfs_pool_waits_total", "Chunk allocations that blocked on the pool (backpressure).", st.PoolWaits),
-		metrics.Gauge("crfs_aggregation_ratio", "Application writes per backend write.", st.AggregationRatio()),
+		metrics.Counter("crfs_pool_waits_total", "Chunk allocations that blocked on the pool (backpressure).", st.PoolWaits).WithStat("poolwaits"),
+		metrics.Gauge("crfs_aggregation_ratio", "Application writes per backend write.", st.AggregationRatio()).WithStat("ratio"),
 		// Mount: codec.
-		metrics.Counter("crfs_codec_bytes_in_total", "Raw chunk bytes handed to the codec.", st.CodecBytesIn),
-		metrics.Counter("crfs_codec_bytes_out_total", "Framed bytes written to the backend.", st.CodecBytesOut),
+		metrics.Counter("crfs_codec_bytes_in_total", "Raw chunk bytes handed to the codec.", st.CodecBytesIn).WithStat("codec_in"),
+		metrics.Counter("crfs_codec_bytes_out_total", "Framed bytes written to the backend.", st.CodecBytesOut).WithStat("codec_out"),
 		metrics.Counter("crfs_frames_total", "Frames appended to containers.", st.Frames),
 		metrics.Counter("crfs_raw_frames_total", "Frames stored raw by the incompressible-data bailout.", st.RawFrames),
-		metrics.Gauge("crfs_compression_ratio", "Raw bytes per framed backend byte.", st.CompressionRatio()),
+		metrics.Gauge("crfs_compression_ratio", "Raw bytes per framed backend byte.", st.CompressionRatio()).WithStat("codec_ratio"),
 		// Mount: read path and prefetch.
 		metrics.Counter("crfs_reads_from_buffer_total", "ReadAt calls served at least partially from buffered data.", st.ReadsFromBuffer),
 		metrics.Counter("crfs_read_drains_avoided_total", "Reads that arrived while the pipeline was dirty and did not stall.", st.ReadDrainsAvoided),
@@ -38,23 +42,23 @@ func (s *Server) Metrics() []metrics.PromMetric {
 		metrics.Counter("crfs_prefetch_wasted_total", "Prefetched extents discarded unread.", st.PrefetchWasted),
 		metrics.Counter("crfs_prefetch_bytes_total", "Bytes published into read-ahead caches.", st.PrefetchedBytes),
 		// Mount: recovery.
-		metrics.Counter("crfs_failed_chunks_total", "Aggregation chunks whose backend write failed.", st.FailedChunks),
-		metrics.Counter("crfs_containers_scanned_total", "Opens that probed a frame container.", st.ContainersScanned),
-		metrics.Counter("crfs_containers_salvaged_total", "Containers whose torn tail was dropped at open.", st.ContainersSalvaged),
-		metrics.Counter("crfs_containers_repaired_total", "Salvaged containers truncated to the intact prefix.", st.ContainersRepaired),
-		metrics.Counter("crfs_salvage_frames_dropped_total", "Frames lost past the tears of salvaged containers.", st.SalvageFramesDropped),
-		metrics.Counter("crfs_salvage_bytes_truncated_total", "Container bytes dropped past intact prefixes.", st.SalvageBytesTruncated),
+		metrics.Counter("crfs_failed_chunks_total", "Aggregation chunks whose backend write failed.", st.FailedChunks).WithStat("failed_chunks"),
+		metrics.Counter("crfs_containers_scanned_total", "Opens that probed a frame container.", st.ContainersScanned).WithStat("scanned"),
+		metrics.Counter("crfs_containers_salvaged_total", "Containers whose torn tail was dropped at open.", st.ContainersSalvaged).WithStat("salvaged"),
+		metrics.Counter("crfs_containers_repaired_total", "Salvaged containers truncated to the intact prefix.", st.ContainersRepaired).WithStat("repaired"),
+		metrics.Counter("crfs_salvage_frames_dropped_total", "Frames lost past the tears of salvaged containers.", st.SalvageFramesDropped).WithStat("salvage_frames_dropped"),
+		metrics.Counter("crfs_salvage_bytes_truncated_total", "Container bytes dropped past intact prefixes.", st.SalvageBytesTruncated).WithStat("salvage_bytes_truncated"),
 		// Mount: compaction and scrub.
-		metrics.Counter("crfs_containers_compacted_total", "Containers rewritten by the compaction engine.", st.ContainersCompacted),
-		metrics.Counter("crfs_compact_frames_dropped_total", "Dead frames dropped by compaction rewrites.", st.CompactFramesDropped),
-		metrics.Counter("crfs_compact_bytes_reclaimed_total", "Backend bytes reclaimed by compaction.", st.CompactBytesReclaimed),
-		metrics.Counter("crfs_frames_verified_total", "Frames decode-verified intact by the scrub engine.", st.FramesVerified),
-		metrics.Counter("crfs_scrub_corruptions_total", "Frames that failed scrub verification.", st.ScrubCorruptions),
-		metrics.Counter("crfs_scrub_repaired_total", "Containers truncated by scrub repair.", st.ScrubRepaired),
+		metrics.Counter("crfs_containers_compacted_total", "Containers rewritten by the compaction engine.", st.ContainersCompacted).WithStat("compacted"),
+		metrics.Counter("crfs_compact_frames_dropped_total", "Dead frames dropped by compaction rewrites.", st.CompactFramesDropped).WithStat("compact_frames_dropped"),
+		metrics.Counter("crfs_compact_bytes_reclaimed_total", "Backend bytes reclaimed by compaction.", st.CompactBytesReclaimed).WithStat("compact_bytes_reclaimed"),
+		metrics.Counter("crfs_frames_verified_total", "Frames decode-verified intact by the scrub engine.", st.FramesVerified).WithStat("frames_verified"),
+		metrics.Counter("crfs_scrub_corruptions_total", "Frames that failed scrub verification.", st.ScrubCorruptions).WithStat("scrub_corruptions"),
+		metrics.Counter("crfs_scrub_repaired_total", "Containers truncated by scrub repair.", st.ScrubRepaired).WithStat("scrub_repaired"),
 		// Mount: integrity.
-		metrics.Counter("crfs_checksum_verified_total", "Frame payloads whose CRC32-C matched at decode time.", st.ChecksumVerified),
-		metrics.Counter("crfs_checksum_failed_total", "Frame payloads that failed their checksum (proven bit rot).", st.ChecksumFailed),
-		metrics.Counter("crfs_checksum_skipped_total", "Decoded payloads that carried no checksum (v1 frames).", st.ChecksumSkipped),
+		metrics.Counter("crfs_checksum_verified_total", "Frame payloads whose CRC32-C matched at decode time.", st.ChecksumVerified).WithStat("checksum_verified"),
+		metrics.Counter("crfs_checksum_failed_total", "Frame payloads that failed their checksum (proven bit rot).", st.ChecksumFailed).WithStat("checksum_failed"),
+		metrics.Counter("crfs_checksum_skipped_total", "Decoded payloads that carried no checksum (v1 frames).", st.ChecksumSkipped).WithStat("checksum_skipped"),
 		// Server.
 		metrics.Counter("crfsd_conns_accepted_total", "Accepted connections, both protocol versions.", sv.ConnsAccepted),
 		metrics.Gauge("crfsd_conns_active", "Connections currently being served.", float64(sv.ConnsActive)),
@@ -74,10 +78,42 @@ func (s *Server) Metrics() []metrics.PromMetric {
 	}
 }
 
-// MetricsHandler serves the Prometheus text exposition of Metrics.
+// Histograms renders the mount's pipeline latency/size distributions
+// plus the server's own request latencies as Prometheus histograms.
+func (s *Server) Histograms() []metrics.PromHistogram {
+	hs := s.fs.PromHistograms()
+	for _, h := range []struct {
+		name, help string
+		hist       *obs.Histogram
+	}{
+		{"crfsd_put_latency_seconds", "End-to-end PUT handling latency (body stream to commit).", s.putSeconds},
+		{"crfsd_get_latency_seconds", "End-to-end GET handling latency (open to last byte).", s.getSeconds},
+	} {
+		snap := h.hist.Snapshot()
+		ph := metrics.PromHistogram{
+			Name:   h.name,
+			Help:   h.help,
+			Bounds: make([]float64, len(snap.Bounds)),
+			Counts: make([]uint64, len(snap.Counts)),
+			Sum:    float64(snap.Sum) / 1e9,
+			Count:  uint64(snap.Count),
+		}
+		for i, b := range snap.Bounds {
+			ph.Bounds[i] = float64(b) / 1e9
+		}
+		for i, c := range snap.Counts {
+			ph.Counts[i] = uint64(c)
+		}
+		hs = append(hs, ph)
+	}
+	return hs
+}
+
+// MetricsHandler serves the Prometheus text exposition of Metrics and
+// Histograms.
 func (s *Server) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		metrics.WritePrometheus(w, s.Metrics())
+		metrics.WritePrometheusWith(w, s.Metrics(), s.Histograms())
 	})
 }

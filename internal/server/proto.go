@@ -160,19 +160,42 @@ func ReadFrame(r io.Reader, buf []byte) (Header, []byte, error) {
 
 // Request is a parsed verb line.
 type Request struct {
-	Verb string // "PUT", "GET", "DEL", "LIST", "STAT", "SCRUB", "PING"
-	Name string // PUT/GET/DEL target
-	Size int64  // PUT declared body size
+	Verb  string // "PUT", "GET", "DEL", "LIST", "STAT", "SCRUB", "PING", "TRACE"
+	Name  string // PUT/GET/DEL target
+	Size  int64  // PUT declared body size
+	Trace uint64 // propagated trace ID (optional trailing "T=<16 hex>" field)
+}
+
+// TraceField renders the optional trailing verb-line field that
+// propagates a trace ID ("T=<16 hex>"). Servers that predate tracing
+// reject lines carrying it, so clients append it only after the server
+// hello advertised "trace=1".
+func TraceField(id uint64) string {
+	return fmt.Sprintf("T=%016x", id)
 }
 
 // ParseRequest parses and validates a verb line (shared by both
 // protocol versions; the v1 line arrives without a frame around it).
 func ParseRequest(line string) (Request, error) {
 	fields := strings.Fields(strings.TrimSpace(line))
+	var req Request
+	// An optional trailing "T=<16 hex>" field on any verb propagates the
+	// client's trace ID; it is peeled off before verb arity checks so
+	// every verb accepts it uniformly.
+	if n := len(fields); n > 0 {
+		if hex, ok := strings.CutPrefix(fields[n-1], "T="); ok {
+			id, err := strconv.ParseUint(hex, 16, 64)
+			if err != nil || len(hex) != 16 {
+				return Request{}, fmt.Errorf("server: bad trace field %q: %w", fields[n-1], vfs.ErrInvalid)
+			}
+			req.Trace = id
+			fields = fields[:n-1]
+		}
+	}
 	if len(fields) == 0 {
 		return Request{}, fmt.Errorf("server: empty request: %w", vfs.ErrInvalid)
 	}
-	req := Request{Verb: fields[0]}
+	req.Verb = fields[0]
 	switch req.Verb {
 	case "PUT":
 		if len(fields) != 3 {
@@ -191,6 +214,20 @@ func ParseRequest(line string) (Request, error) {
 	case "LIST", "STAT", "SCRUB", "PING":
 		if len(fields) != 1 {
 			return Request{}, fmt.Errorf("server: %s takes no arguments: %w", req.Verb, vfs.ErrInvalid)
+		}
+	case "TRACE":
+		// TRACE [traceid-hex]: stream the daemon's span ring (optionally
+		// filtered to one trace) as a JSON records body.
+		switch len(fields) {
+		case 1:
+		case 2:
+			id, err := strconv.ParseUint(fields[1], 16, 64)
+			if err != nil || id == 0 {
+				return Request{}, fmt.Errorf("server: bad TRACE id %q: %w", fields[1], vfs.ErrInvalid)
+			}
+			req.Trace = id
+		default:
+			return Request{}, fmt.Errorf("server: usage: TRACE [traceid]: %w", vfs.ErrInvalid)
 		}
 	default:
 		return Request{}, fmt.Errorf("server: unknown verb %q: %w", req.Verb, vfs.ErrInvalid)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"crfs/internal/core"
+	"crfs/internal/obs"
 	"crfs/internal/vfs"
 )
 
@@ -45,6 +46,10 @@ type Config struct {
 	SweepInterval time.Duration
 	// Logf, when non-nil, receives server event logs.
 	Logf func(format string, args ...any)
+	// Tracer receives the daemon's per-request spans (crfsd.PUT,
+	// crfsd.GET, ...), joined to the client's trace when the request
+	// carries a propagated trace ID. nil selects obs.Default.
+	Tracer *obs.Tracer
 }
 
 // Defaults for Config's zero fields.
@@ -144,6 +149,12 @@ type Server struct {
 	cfg Config
 	seq atomic.Uint64 // staging-name sequence
 
+	tracer *obs.Tracer
+	// Request latency histograms (always on, like the mount's): one per
+	// body-moving verb, measured from handler start to terminal frame.
+	putSeconds *obs.Histogram
+	getSeconds *obs.Histogram
+
 	connSem chan struct{}
 	done    chan struct{} // closed when Shutdown begins
 	wg      sync.WaitGroup
@@ -163,16 +174,26 @@ type Server struct {
 // of the mount: Shutdown drains connections but does not unmount.
 func New(fs *core.FS, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.Default
+	}
 	return &Server{
-		fs:        fs,
-		cfg:       cfg,
-		connSem:   make(chan struct{}, cfg.MaxConns),
-		done:      make(chan struct{}),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[*srvConn]struct{}),
-		staging:   make(map[string]struct{}),
+		fs:         fs,
+		cfg:        cfg,
+		tracer:     tracer,
+		putSeconds: obs.NewHistogram(obs.LatencyBounds),
+		getSeconds: obs.NewHistogram(obs.LatencyBounds),
+		connSem:    make(chan struct{}, cfg.MaxConns),
+		done:       make(chan struct{}),
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[*srvConn]struct{}),
+		staging:    make(map[string]struct{}),
 	}
 }
+
+// Tracer returns the server's span tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // trackStaging marks a staging temp as owned by an in-flight PUT, and
 // returns the untrack func for when the PUT commits or aborts.

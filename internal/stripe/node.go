@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"crfs/internal/client"
+	"crfs/internal/obs"
 	"crfs/internal/vfs"
 )
 
@@ -72,6 +73,61 @@ func (n *ClientNode) Get(name string, w io.Writer) (int64, error) {
 func (n *ClientNode) Delete(name string) error { return n.c.Delete(name) }
 func (n *ClientNode) List() ([]string, error)  { return n.c.List() }
 func (n *ClientNode) Close() error             { return n.c.Close() }
+
+// PutTraced implements the optional traced-node upgrade: the chunk
+// span's trace ID rides the PUT verb line to the daemon.
+func (n *ClientNode) PutTraced(name string, r io.Reader, size int64, ctx obs.SpanContext) error {
+	return n.c.PutTraced(name, r, size, ctx)
+}
+
+// GetTraced is the traced variant of Get (see PutTraced).
+func (n *ClientNode) GetTraced(name string, w io.Writer, ctx obs.SpanContext) (int64, error) {
+	nn, err := n.c.GetTraced(name, w, ctx)
+	var re *client.RemoteError
+	if errors.As(err, &re) && strings.Contains(re.Msg, "not exist") {
+		return nn, fmt.Errorf("stripe: node %s: GET %s: %w", n.addr, name, ErrNotExist)
+	}
+	return nn, err
+}
+
+// TraceDump fetches the daemon's span ring, filtered to one trace when
+// trace is nonzero.
+func (n *ClientNode) TraceDump(trace obs.TraceID) ([]obs.SpanRecord, error) {
+	return n.c.TraceDump(trace)
+}
+
+// tracedPutter and tracedGetter are the optional upgrades a Node may
+// implement to receive trace contexts; nodes without them are served
+// untraced, so MemNode and older daemons keep working unchanged.
+type tracedPutter interface {
+	PutTraced(name string, r io.Reader, size int64, ctx obs.SpanContext) error
+}
+
+type tracedGetter interface {
+	GetTraced(name string, w io.Writer, ctx obs.SpanContext) (int64, error)
+}
+
+// nodePut writes one object to a node, propagating ctx when the node
+// supports it.
+func nodePut(n Node, name string, r io.Reader, size int64, ctx obs.SpanContext) error {
+	if ctx.Valid() {
+		if tp, ok := n.(tracedPutter); ok {
+			return tp.PutTraced(name, r, size, ctx)
+		}
+	}
+	return n.Put(name, r, size)
+}
+
+// nodeGet reads one object from a node, propagating ctx when the node
+// supports it.
+func nodeGet(n Node, name string, w io.Writer, ctx obs.SpanContext) (int64, error) {
+	if ctx.Valid() {
+		if tg, ok := n.(tracedGetter); ok {
+			return tg.GetTraced(name, w, ctx)
+		}
+	}
+	return n.Get(name, w)
+}
 
 // MemNode is an in-memory Node for tests and hermetic benchmarks, with
 // fault injection: it can be taken down (every call fails as if the

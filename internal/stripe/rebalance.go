@@ -3,6 +3,8 @@ package stripe
 import (
 	"bytes"
 	"fmt"
+
+	"crfs/internal/obs"
 )
 
 // RebalanceReport summarizes one rebalancing pass.
@@ -70,7 +72,7 @@ func (s *Store) Rebalance() (RebalanceReport, error) {
 					continue
 				}
 				if buf == nil {
-					buf, err = s.fetchChunk(all, m, idx)
+					buf, err = s.fetchChunk(all, m, idx, obs.SpanContext{})
 					if err != nil {
 						return rep, fmt.Errorf("stripe: rebalance %s chunk %d: %w", obj, idx, err)
 					}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"crfs/internal/codec"
+	"crfs/internal/obs"
 )
 
 // Report summarizes one scrub pass.
@@ -42,6 +43,11 @@ func (r Report) String() string {
 // reported in the Report instead.
 func (s *Store) Scrub() (Report, error) {
 	var rep Report
+	var sp obs.Span
+	if s.tracer.Enabled() {
+		sp = s.tracer.Start("stripe.scrub")
+		defer sp.End()
+	}
 	all, _ := s.members()
 	if len(all) == 0 {
 		return rep, ErrNoNodes

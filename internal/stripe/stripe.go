@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"crfs/internal/codec"
+	"crfs/internal/obs"
 	"crfs/internal/server"
 )
 
@@ -32,6 +33,10 @@ type Config struct {
 	ChunkSize       int64
 	Replicas        int
 	PerNodeInFlight int
+	// Tracer receives the coordinator's spans (put/get/scrub and their
+	// per-chunk transfers). nil selects the process-wide obs.Default
+	// tracer, which starts disabled.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -87,7 +92,8 @@ type Stats struct {
 // use; node membership changes serialize against each other but not
 // against data-path operations, which snapshot the member list.
 type Store struct {
-	cfg Config
+	cfg    Config
+	tracer *obs.Tracer
 
 	nmu      sync.Mutex // guards nodes/draining; never held across node IO
 	nodes    map[string]Node
@@ -101,9 +107,13 @@ type Store struct {
 func New(cfg Config, nodes ...Node) *Store {
 	s := &Store{
 		cfg:      cfg.withDefaults(),
+		tracer:   cfg.Tracer,
 		nodes:    make(map[string]Node),
 		draining: make(map[string]bool),
 		slots:    make(map[string]chan struct{}),
+	}
+	if s.tracer == nil {
+		s.tracer = obs.Default
 	}
 	for _, n := range nodes {
 		s.Join(n)
@@ -200,9 +210,26 @@ func (s *Store) slot(id string) func() {
 // last, to every node, so a failed Put never leaves a restorable-looking
 // object — at worst unreferenced chunks that scrub collects.
 func (s *Store) Put(name string, r io.Reader, size int64) error {
+	return s.PutTraced(name, r, size, obs.SpanContext{})
+}
+
+// PutTraced is Put under a trace: the whole checkpoint gets a
+// "stripe.put" span (joined to parent when valid, a fresh trace
+// otherwise), every chunk upload gets a child span, and the trace ID
+// rides the wire to each daemon, so one striped checkpoint renders as
+// one cross-node timeline.
+func (s *Store) PutTraced(name string, r io.Reader, size int64, parent obs.SpanContext) error {
 	if err := server.ValidateName(name); err != nil {
 		return fmt.Errorf("stripe: PUT: %w", err)
 	}
+	var sp obs.Span
+	if s.tracer.Enabled() {
+		sp = s.tracer.StartChild("stripe.put", parent)
+		sp.Attr("object", name)
+		sp.AttrInt("bytes", size)
+		defer sp.End()
+	}
+	ctx := sp.Context()
 	all, placeable := s.members()
 	if len(placeable) == 0 {
 		return ErrNoNodes
@@ -272,9 +299,17 @@ func (s *Store) Put(name string, r io.Reader, size int64) error {
 			cname := ChunkName(name, idx)
 			for _, id := range chunk.Nodes {
 				node := all[id]
+				var csp obs.Span
+				if s.tracer.Enabled() && ctx.Valid() {
+					csp = s.tracer.StartChild("stripe.chunk.put", ctx)
+					csp.AttrInt("idx", int64(idx))
+					csp.Attr("node", id)
+					csp.AttrInt("bytes", chunk.Length)
+				}
 				release := s.slot(id)
-				err := node.Put(cname, bytes.NewReader(buf), chunk.Length)
+				err := nodePut(node, cname, bytes.NewReader(buf), chunk.Length, csp.Context())
 				release()
+				csp.End()
 				if err != nil {
 					setErr(fmt.Errorf("stripe: PUT %s: chunk %d to %s: %w", name, idx, id, err))
 					return
@@ -333,9 +368,23 @@ func (s *Store) readManifest(all map[string]Node, name string) (*Manifest, error
 // bad or unreachable replica fails over to the next, so the restore
 // succeeds as long as one clean copy of every chunk survives.
 func (s *Store) Get(name string, w io.Writer) (int64, error) {
+	return s.GetTraced(name, w, obs.SpanContext{})
+}
+
+// GetTraced is Get under a trace (see PutTraced): a "stripe.get" span
+// over the restore, a child span per chunk fetch, and wire propagation
+// to the daemons serving the replicas.
+func (s *Store) GetTraced(name string, w io.Writer, parent obs.SpanContext) (int64, error) {
 	if err := server.ValidateName(name); err != nil {
 		return 0, fmt.Errorf("stripe: GET: %w", err)
 	}
+	var sp obs.Span
+	if s.tracer.Enabled() {
+		sp = s.tracer.StartChild("stripe.get", parent)
+		sp.Attr("object", name)
+		defer sp.End()
+	}
+	ctx := sp.Context()
 	all, _ := s.members()
 	if len(all) == 0 {
 		return 0, ErrNoNodes
@@ -368,7 +417,7 @@ func (s *Store) Get(name string, w io.Writer) (int64, error) {
 			}
 			go func(idx int) {
 				defer func() { <-window }()
-				buf, err := s.fetchChunk(all, m, idx)
+				buf, err := s.fetchChunk(all, m, idx, ctx)
 				select {
 				case results[idx] <- result{buf: buf, err: err}:
 				case <-done:
@@ -399,7 +448,7 @@ func (s *Store) Get(name string, w io.Writer) (int64, error) {
 
 // fetchChunk returns fingerprint-verified bytes for chunk idx, trying
 // replicas in placement order.
-func (s *Store) fetchChunk(all map[string]Node, m *Manifest, idx int) ([]byte, error) {
+func (s *Store) fetchChunk(all map[string]Node, m *Manifest, idx int, ctx obs.SpanContext) ([]byte, error) {
 	c := m.Chunks[idx]
 	cname := ChunkName(m.Object, idx)
 	var lastErr error
@@ -409,11 +458,19 @@ func (s *Store) fetchChunk(all map[string]Node, m *Manifest, idx int) ([]byte, e
 			lastErr = fmt.Errorf("stripe: GET %s: replica node %s detached", cname, id)
 			continue
 		}
+		var csp obs.Span
+		if s.tracer.Enabled() && ctx.Valid() {
+			csp = s.tracer.StartChild("stripe.chunk.get", ctx)
+			csp.AttrInt("idx", int64(idx))
+			csp.Attr("node", id)
+			csp.AttrInt("bytes", c.Length)
+		}
 		var buf bytes.Buffer
 		buf.Grow(int(c.Length))
 		release := s.slot(id)
-		_, err := node.Get(cname, &buf)
+		_, err := nodeGet(node, cname, &buf, csp.Context())
 		release()
+		csp.End()
 		if err != nil {
 			lastErr = err
 			if tries < len(c.Nodes)-1 {
@@ -494,6 +551,28 @@ func (s *Store) List() ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// TraceDumps collects the span rings of every node that supports trace
+// dumping (crfsd daemons with trace=1), filtered to one trace when
+// trace is nonzero, merged into one record list. Nodes that cannot
+// dump — or fail to — are skipped: a trace is a diagnostic, not a
+// durability contract.
+func (s *Store) TraceDumps(trace obs.TraceID) []obs.SpanRecord {
+	all, _ := s.members()
+	var recs []obs.SpanRecord
+	for _, id := range sortedIDs(all) {
+		td, ok := all[id].(interface {
+			TraceDump(obs.TraceID) ([]obs.SpanRecord, error)
+		})
+		if !ok {
+			continue
+		}
+		if r, err := td.TraceDump(trace); err == nil {
+			recs = append(recs, r...)
+		}
+	}
+	return recs
 }
 
 func sortedIDs(all map[string]Node) []string {
